@@ -1,0 +1,21 @@
+"""Ablations of the individual SWARE design elements (§III)."""
+
+from repro.bench.experiments import ablation
+
+
+def test_design_element_ablations(run_experiment):
+    result = run_experiment("ablation_components", ablation.run, n=12_000)
+    tail = result.data["tail-leaf node accesses/insert (sorted)"]
+    assert tail["with tail pointer"] < tail["without"] / 2
+
+    search = result.data["search probe steps (uniform keys)"]
+    assert search["interpolation"] < search["binary"]
+
+    sort = result.data["sort work, near-sorted buffer"]
+    assert (
+        sort["(K,L)-adaptive (est. comparisons)"]
+        < sort["stable sort (est. comparisons)"]
+    )
+
+    flush = result.data["top-inserts (K=10%, L=5%)"]
+    assert flush["partial flush (50%)"] <= flush["full flush (95%)"]

@@ -1,0 +1,10 @@
+"""Fig. 9 — regenerate the sortedness workload family."""
+
+from repro.bench.experiments import fig09
+
+
+def test_fig09_workload_family(run_experiment):
+    result = run_experiment("fig09_workloads", fig09.run, n=2000)
+    # Sanity: the generated degrees must bracket the figure's intent.
+    assert result.data["(a) sorted"]["measured_k"] == 0.0
+    assert result.data["(f) scrambled"]["measured_k"] > 0.5

@@ -1,0 +1,15 @@
+"""Fig. 10 — SA B+-tree vs B+-tree speedup over mixed workloads."""
+
+from repro.bench.experiments import fig10
+
+
+def test_fig10_mixed_workload_speedup(run_experiment):
+    result = run_experiment("fig10_mixed_ratio", fig10.run, n=20_000)
+    # Paper shape: sorted write-heavy is the peak; speedup decays with reads;
+    # scrambled never beats the baseline in memory.
+    sorted_wh = result.data[("sorted", 0.10)]
+    sorted_rh = result.data[("sorted", 0.90)]
+    assert sorted_wh > 4.0
+    assert sorted_wh > sorted_rh > 1.0
+    assert result.data[("near-sorted", 0.10)] > result.data[("near-sorted", 0.90)]
+    assert result.data[("scrambled", 0.50)] < 1.0

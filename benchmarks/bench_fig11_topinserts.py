@@ -1,0 +1,13 @@
+"""Fig. 11 — top-inserts vs bulk loads as K grows."""
+
+from repro.bench.experiments import fig11
+
+
+def test_fig11_topinsert_bulkload_split(run_experiment):
+    result = run_experiment("fig11_topinserts", fig11.run, n=20_000)
+    # Fully sorted data is 100% bulk loaded; top-inserts grow with K.
+    assert result.data[0.0]["top_inserts"] == 0
+    near = result.data[0.10]
+    assert near["top_inserts"] / (near["top_inserts"] + near["bulk_loaded"]) < 0.15
+    tops = [result.data[k]["top_inserts"] for k in sorted(result.data)]
+    assert tops == sorted(tops)

@@ -1,0 +1,23 @@
+"""Fig. 13 — latency breakdown of SA B+-tree ingestion and queries."""
+
+from repro.bench.experiments import fig13
+
+
+def test_fig13_latency_breakdown(run_experiment):
+    result = run_experiment("fig13_breakdown", fig13.run, n=20_000)
+
+    def share(breakdown, bucket):
+        total = sum(breakdown.values()) or 1.0
+        return breakdown.get(bucket, 0.0) / total
+
+    # Ingestion: no sorting/top-inserts when fully sorted; top-insert time
+    # escalates as sortedness decreases.
+    assert share(result.ingest_breakdown["sorted"], "sort") == 0.0
+    assert share(result.ingest_breakdown["sorted"], "top_insert") == 0.0
+    assert (
+        share(result.ingest_breakdown["less-sorted"], "top_insert")
+        > share(result.ingest_breakdown["near-sorted"], "top_insert")
+    )
+    # Queries: tree search dominates in every configuration.
+    for label, breakdown in result.query_breakdown.items():
+        assert share(breakdown, "tree_search") > 0.5, label

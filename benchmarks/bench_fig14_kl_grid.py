@@ -1,0 +1,17 @@
+"""Fig. 14 — K×L speedup grids across read ratios and buffer sizes."""
+
+from repro.bench.experiments import fig14
+
+
+def test_fig14_kl_speedup_grid(run_experiment):
+    result = run_experiment("fig14_kl_grid", fig14.run, n=8_000)
+    panel_a = "(a) 10%R buffer=1%"
+    panel_c = "(c) 90%R buffer=1%"
+    panel_b = "(b) 50%R buffer=1%"
+    panel_d = "(d) 50%R buffer=5%"
+    # Fully sorted (K=0) is the peak of every panel and constant across L.
+    assert result.data[(panel_a, 0.0, 0.01)] > result.data[(panel_a, 1.0, 0.50)]
+    # More reads -> less benefit.
+    assert result.data[(panel_a, 0.0, 0.01)] > result.data[(panel_c, 0.0, 0.01)]
+    # A larger buffer helps the mid-grid.
+    assert result.data[(panel_d, 0.10, 0.05)] >= result.data[(panel_b, 0.10, 0.05)] * 0.9

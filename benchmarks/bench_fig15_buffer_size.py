@@ -1,0 +1,17 @@
+"""Fig. 15 — SWARE-buffer size vs insert/lookup performance."""
+
+from repro.bench.experiments import fig15
+
+
+def test_fig15_buffer_size_sweep(run_experiment):
+    result = run_experiment("fig15_buffer_size", fig15.run, n=20_000)
+    # Even the smallest buffer wins ingestion; the largest wins at least as
+    # much; lookups stay within a modest overhead of the baseline.
+    fractions = sorted(result.data)
+    assert result.data[fractions[0]]["insert_speedup"] > 1.5
+    assert (
+        result.data[fractions[-1]]["insert_speedup"]
+        >= result.data[fractions[0]]["insert_speedup"] * 0.95
+    )
+    for values in result.data.values():
+        assert values["lookup_speedup"] > 0.75

@@ -1,0 +1,16 @@
+"""Fig. 16 — query-driven sorting threshold sweep."""
+
+from repro.bench.experiments import fig16
+
+
+def test_fig16_query_sorting_threshold(run_experiment):
+    result = run_experiment("fig16_query_sorting", fig16.run, n=12_000)
+    # Query sorting must not catastrophically hurt any configuration, and
+    # the tuned 10% threshold should be at least as good as disabling it
+    # for some mid-sortedness point.
+    k_mid = 0.10
+    with_qs = result.data[(0.10, k_mid)]
+    without = result.data[(1.00, k_mid)]
+    assert with_qs >= without * 0.9
+    for (threshold, k), value in result.data.items():
+        assert value > 0.5, (threshold, k)

@@ -1,0 +1,21 @@
+"""Fig. 17 — Bloom-filter ablation (naive / global-only / full)."""
+
+from repro.bench.experiments import fig17
+
+
+def test_fig17_bloom_filter_ablation(run_experiment):
+    result = run_experiment("fig17_bloom", fig17.run, n=16_000)
+    # (a) BFs add a small ingestion cost: full SA inserts cost no less than
+    # the naive variant.
+    for k in (0.10, 0.50, 1.00):
+        assert (
+            result.data[("SA full", k)]["insert_ns"]
+            >= result.data[("naive SA", k)]["insert_ns"] * 0.98
+        )
+    # (b) BFs pay off on lookups once sortedness drops (an unsorted tail
+    # exists to skip).
+    k = 1.00
+    assert (
+        result.data[("SA full", k)]["lookup_ns"]
+        <= result.data[("naive SA", k)]["lookup_ns"]
+    )

@@ -1,0 +1,13 @@
+"""Fig. 18 — on-disk mixed workloads (bufferpool fits internal nodes only)."""
+
+from repro.bench.experiments import fig18
+
+
+def test_fig18_ondisk_speedup(run_experiment):
+    result = run_experiment("fig18_ondisk", fig18.run, n=12_000)
+    # Paper: on disk SA B+-tree ALWAYS outperforms the B+-tree — even for
+    # scrambled data and read-heavy mixes.
+    for (label, ratio), value in result.data.items():
+        assert value >= 1.0, (label, ratio, value)
+    # And sorted write-heavy remains the peak.
+    assert result.data[("sorted", 0.10)] >= result.data[("scrambled", 0.10)]

@@ -1,0 +1,19 @@
+"""Fig. 19 + Table II — scalability with data size."""
+
+from repro.bench.experiments import fig19
+
+
+def test_fig19_scalability(run_experiment):
+    result = run_experiment("fig19_scalability", fig19.run)
+    sizes = sorted(result.proportional)
+    # (a) proportional K/L/buffer: SA wins at every size.
+    for n in sizes:
+        assert result.proportional[n]["speedup"] > 1.0
+    # (b) fixed L and buffer: SA wins and the buffered fraction of the data
+    # shrinks as N grows (Table II), as do pages scanned per query.
+    for n in sizes:
+        assert result.fixed_l[n]["speedup"] > 1.0
+    fractions = [result.table2[n]["buffer_fraction"] for n in sizes]
+    assert fractions == sorted(fractions, reverse=True)
+    pages = [result.table2[n]["pages_scanned_per_query"] for n in sizes]
+    assert pages[-1] <= pages[0]

@@ -1,0 +1,17 @@
+"""Fig. 20 — SA Bε-tree vs Bε-tree, normalized against scrambled Bε."""
+
+from repro.bench.experiments import fig20
+
+
+def test_fig20_sa_betree(run_experiment):
+    result = run_experiment("fig20_betree", fig20.run, n=10_000)
+    for ratio in (0.10, 0.50, 0.90):
+        # SA Bε amplifies sortedness well beyond the plain Bε-tree...
+        assert result.data[(ratio, "S", "sa_betree")] > result.data[(ratio, "S", "betree")]
+        assert result.data[(ratio, "N", "sa_betree")] > 1.0
+        # ...and the plain Bε-tree itself gains a little from sortedness.
+        assert result.data[(ratio, "S", "betree")] >= result.data[(ratio, "L", "betree")]
+    # Write-heavy sorted is the global peak.
+    assert result.data[(0.10, "S", "sa_betree")] == max(
+        v for (r, d, i), v in result.data.items() if i == "sa_betree"
+    )

@@ -1,0 +1,13 @@
+"""Fig. 21 — the high-L/low-K extreme (K=5%, L=95%)."""
+
+from repro.bench.experiments import fig21
+
+
+def test_fig21_high_l_low_k(run_experiment):
+    result = run_experiment("fig21_high_l", fig21.run, n=16_000)
+    # SA B+-tree wins the write-heavy mixes even at L=95%, and a larger
+    # buffer captures more of the overlap.
+    assert result.data[(0.10, 0.01)] > 1.0
+    assert result.data[(0.10, 0.05)] >= result.data[(0.10, 0.01)] * 0.95
+    for (ratio, fraction), value in result.data.items():
+        assert value > 0.7, (ratio, fraction, value)

@@ -1,0 +1,15 @@
+"""§V-D — buffer flush-threshold sweep (25% / 50% / 75%)."""
+
+from repro.bench.experiments import flush_threshold
+
+
+def test_flush_threshold_sweep(run_experiment):
+    result = run_experiment("flush_threshold", flush_threshold.run, n=12_000)
+    # All thresholds stay in a sane band; 50% should be competitive with
+    # (within 10% of) the best mean, matching the paper's default choice.
+    means = {
+        f: sum(result.data[(f, label)] for label in
+               ("sorted", "near-sorted", "less-sorted", "scrambled")) / 4
+        for f in (0.25, 0.50, 0.75)
+    }
+    assert means[0.50] >= max(means.values()) * 0.9

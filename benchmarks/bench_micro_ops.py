@@ -1,0 +1,74 @@
+"""Wall-clock micro-benchmarks (sanity companion to the simulated clock).
+
+These time the actual Python implementation with pytest-benchmark. Absolute
+numbers are interpreter-bound (DESIGN.md substitution #1); they exist to
+confirm the structural savings also show up in real time where interpreter
+overhead does not drown them (e.g. sorted ingestion skips per-entry Bloom
+filter updates and tree descents entirely).
+"""
+
+from repro.bench.experiments import common
+from repro.storage.costmodel import Meter
+from repro.workloads.spec import value_for
+
+N = 10_000
+
+
+def _ingest(factory, keys):
+    index = factory(Meter())
+    insert = index.insert
+    for key in keys:
+        insert(key, value_for(key))
+    return index
+
+
+def test_baseline_btree_insert_sorted(benchmark):
+    keys = common.keys_for(N, 0.0, 0.0)
+    benchmark.pedantic(
+        _ingest, args=(common.baseline_btree_factory(), keys), rounds=3, iterations=1
+    )
+
+
+def test_sa_btree_insert_sorted(benchmark):
+    keys = common.keys_for(N, 0.0, 0.0)
+    factory = common.sa_btree_factory(common.buffer_config(N, 0.01))
+    benchmark.pedantic(_ingest, args=(factory, keys), rounds=3, iterations=1)
+
+
+def test_baseline_btree_insert_near_sorted(benchmark):
+    keys = common.keys_for(N, 0.10, 0.05)
+    benchmark.pedantic(
+        _ingest, args=(common.baseline_btree_factory(), keys), rounds=3, iterations=1
+    )
+
+
+def test_sa_btree_insert_near_sorted(benchmark):
+    keys = common.keys_for(N, 0.10, 0.05)
+    factory = common.sa_btree_factory(common.buffer_config(N, 0.01))
+    benchmark.pedantic(_ingest, args=(factory, keys), rounds=3, iterations=1)
+
+
+def test_baseline_btree_lookup(benchmark):
+    keys = common.keys_for(N, 0.10, 0.05)
+    index = _ingest(common.baseline_btree_factory(), keys)
+    lookups = list(common.raw_spec(keys, n_lookups=2000).lookup_operations())
+
+    def _lookups():
+        get = index.get
+        for _, key, _b in lookups:
+            get(key)
+
+    benchmark.pedantic(_lookups, rounds=3, iterations=1)
+
+
+def test_sa_btree_lookup(benchmark):
+    keys = common.keys_for(N, 0.10, 0.05)
+    index = _ingest(common.sa_btree_factory(common.buffer_config(N, 0.01)), keys)
+    lookups = list(common.raw_spec(keys, n_lookups=2000).lookup_operations())
+
+    def _lookups():
+        get = index.get
+        for _, key, _b in lookups:
+            get(key)
+
+    benchmark.pedantic(_lookups, rounds=3, iterations=1)

@@ -1,0 +1,13 @@
+"""Space utilization — the intro's 'up to 48% reduction' claim."""
+
+from repro.bench.experiments import space
+
+
+def test_space_utilization(run_experiment):
+    result = run_experiment("space_amplification", space.run, n=20_000)
+    # Sorted ingestion: SA saves a large fraction of leaf slots (~48% in
+    # the paper; bulk fill 95% vs half-full right-deep leaves).
+    assert result.data["sorted"]["savings"] > 0.30
+    assert result.data["near-sorted"]["savings"] > 0.20
+    # SA's average leaf fill approaches the 95% bulk-load target.
+    assert result.data["sorted"]["sa_fill"] > 0.85

@@ -1,0 +1,12 @@
+"""Table I — leaf splits vs split ratio, normalized to 50:50."""
+
+from repro.bench.experiments import table1
+
+
+def test_table1_split_factor(run_experiment):
+    result = run_experiment("table1_split_factor", table1.run, n=20_000)
+    # Near-sorted data: higher split ratios reduce splits monotonically-ish.
+    assert result.data[(0.9, "K=2%, L=1%")] < result.data[(0.5, "K=2%, L=1%")]
+    assert result.data[(0.8, "K=2%, L=1%")] < 1.0
+    # Scrambled-ish data: aggressive ratios backfire (>= the 50:50 count).
+    assert result.data[(0.9, "K=100%, L=50%")] > result.data[(0.6, "K=100%, L=50%")]

@@ -1,0 +1,9 @@
+"""§V-D — Zonemaps-at-query-time ablation."""
+
+from repro.bench.experiments import zonemap_ablation
+
+
+def test_zonemap_ablation(run_experiment):
+    result = run_experiment("zonemap_ablation", zonemap_ablation.run, n=16_000)
+    # Skipping the read-path Zonemaps must cost, not help.
+    assert result.data["penalty"] > 0.02

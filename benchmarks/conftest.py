@@ -1,0 +1,30 @@
+"""Shared helpers for the per-figure benchmark modules.
+
+Every benchmark runs its experiment once under ``benchmark.pedantic`` (the
+experiments are deterministic, multi-run timing adds nothing), prints the
+regenerated table/figure, and writes it under ``results/`` so
+EXPERIMENTS.md can reference the artifacts.
+
+``REPRO_SCALE`` scales workload sizes (default 1.0; the defaults keep the
+full suite in the minutes range).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import save_report
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment function once, print + persist its report."""
+
+    def _run(name: str, fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        path = save_report(name, result.report)
+        with capsys.disabled():
+            print(f"\n{result.report}\n[saved to {path}]")
+        return result
+
+    return _run

@@ -1,0 +1,64 @@
+"""Scenario: the paper's TPC-H experiment (§V-H) — implicitly clustered dates.
+
+TPC-H's lineitem table derives shipdate, commitdate and receiptdate from
+orderdate with small bounded offsets, so a table sorted on shipdate leaves
+receiptdate *near-sorted*: almost every row is slightly out of place (huge
+K) but nothing travels far (tiny L). An index on receiptdate built while
+scanning in shipdate order can exploit this.
+
+Run:  python examples/tpch_receiptdate.py
+"""
+
+from repro import CostModel, Meter, SWAREConfig, make_baseline_btree, make_sa_btree
+from repro.sortedness import measure_sortedness
+from repro.workloads.tpch import (
+    generate_lineitem_dates,
+    receiptdate_keys,
+    sorted_by_shipdate,
+)
+
+
+def main() -> None:
+    n = 30_000
+    dates = sorted_by_shipdate(generate_lineitem_dates(n, seed=1))
+    for column in ("shipdate", "commitdate", "receiptdate"):
+        values = getattr(dates, column)
+        report = measure_sortedness(values[:6000])
+        print(
+            f"{column:12s}: K={report.k_fraction:6.1%}  L={report.l_fraction:6.2%}  "
+            f"({report.degree()})"
+        )
+    print("(paper reports K=96.67%, L=0.1% for receiptdate at 6M rows)\n")
+
+    # Index receiptdate (disambiguated to unique keys) in shipdate order.
+    keys = receiptdate_keys(n, seed=1)
+    model = CostModel()
+    costs = {}
+    for name, build in (
+        ("B+-tree", lambda m: make_baseline_btree(meter=m)),
+        (
+            "SA B+-tree",
+            lambda m: make_sa_btree(
+                SWAREConfig(buffer_capacity=max(100, n // 200), page_size=50),
+                meter=m,
+            ),
+        ),
+    ):
+        meter = Meter()
+        index = build(meter)
+        for key in keys:
+            index.insert(key, key)
+        # Point lookups on a sample of rows.
+        for key in keys[:2000]:
+            assert index.get(key) == key
+        costs[name] = meter.nanos(model)
+        print(f"{name:11s}: simulated workload cost {costs[name] / 1e6:8.1f} ms")
+
+    print(
+        f"\nSA B+-tree speedup with a buffer of only 0.5% of the data: "
+        f"{costs['B+-tree'] / costs['SA B+-tree']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

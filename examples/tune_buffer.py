@@ -1,0 +1,86 @@
+"""Scenario: tuning a sortedness-aware index for your workload.
+
+Sweeps the SWARE-buffer's main knobs (size, flush fraction, query-sorting
+threshold) over a configurable workload and prints a tuning report — the
+same exploration §V-D of the paper performs, as a reusable tool.
+
+Run:  python examples/tune_buffer.py [k_fraction] [l_fraction] [read_fraction]
+"""
+
+import sys
+
+from repro import CostModel, Meter, SWAREConfig, make_baseline_btree, make_sa_btree
+from repro.sortedness import generate_kl_keys
+from repro.workloads.spec import MixedWorkloadSpec
+
+
+def run_mixed(index, operations) -> None:
+    from repro.workloads.spec import INSERT, LOOKUP
+
+    for op, a, b in operations:
+        if op == INSERT:
+            index.insert(a, b)
+        elif op == LOOKUP:
+            index.get(a)
+
+
+def simulated_ms(build, operations, model) -> float:
+    meter = Meter()
+    index = build(meter)
+    run_mixed(index, operations)
+    return meter.nanos(model) / 1e6
+
+
+def main() -> None:
+    k_fraction = float(sys.argv[1]) if len(sys.argv) > 1 else 0.10
+    l_fraction = float(sys.argv[2]) if len(sys.argv) > 2 else 0.05
+    read_fraction = float(sys.argv[3]) if len(sys.argv) > 3 else 0.50
+    n = 25_000
+
+    print(
+        f"workload: n={n}, K={k_fraction:.0%}, L={l_fraction:.0%}, "
+        f"{read_fraction:.0%} reads\n"
+    )
+    keys = generate_kl_keys(n, k_fraction, l_fraction, seed=3)
+    operations = MixedWorkloadSpec(
+        keys=tuple(keys), read_fraction=read_fraction, seed=3
+    ).materialize()
+    model = CostModel()
+    baseline_ms = simulated_ms(lambda m: make_baseline_btree(meter=m), operations, model)
+    print(f"baseline B+-tree: {baseline_ms:.1f} ms simulated\n")
+
+    print("buffer size sweep (flush=50%, Q-S=10%):")
+    best = (None, 0.0)
+    for fraction in (0.005, 0.01, 0.02, 0.05):
+        capacity = max(100, int(n * fraction))
+        config = SWAREConfig(buffer_capacity=capacity, page_size=min(50, capacity // 2))
+        ms = simulated_ms(lambda m: make_sa_btree(config, meter=m), operations, model)
+        print(f"  buffer={fraction:5.1%} ({capacity:5d} entries): "
+              f"{ms:8.1f} ms  speedup {baseline_ms / ms:4.2f}x")
+        if baseline_ms / ms > best[1]:
+            best = (f"buffer={fraction:.1%}", baseline_ms / ms)
+
+    print("\nflush fraction sweep (buffer=1%):")
+    for flush in (0.25, 0.50, 0.75):
+        config = SWAREConfig(
+            buffer_capacity=max(100, n // 100), page_size=50, flush_fraction=flush
+        )
+        ms = simulated_ms(lambda m: make_sa_btree(config, meter=m), operations, model)
+        print(f"  flush={flush:.0%}: {ms:8.1f} ms  speedup {baseline_ms / ms:4.2f}x")
+
+    print("\nquery-sorting threshold sweep (buffer=1%):")
+    for threshold in (0.01, 0.05, 0.10, 0.25, 1.00):
+        config = SWAREConfig(
+            buffer_capacity=max(100, n // 100),
+            page_size=50,
+            query_sorting_threshold=threshold,
+        )
+        ms = simulated_ms(lambda m: make_sa_btree(config, meter=m), operations, model)
+        label = "off" if threshold >= 1.0 else f"{threshold:.0%}"
+        print(f"  Q-S={label:>3s}: {ms:8.1f} ms  speedup {baseline_ms / ms:4.2f}x")
+
+    print(f"\nbest configuration seen: {best[0]} ({best[1]:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim for legacy editable installs (no `wheel` available offline)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,4 @@
+"""One module per paper figure/table; each exposes a ``run(...)`` function
+returning a result object with a ``report`` (plain text) and structured
+``data``. The ``benchmarks/`` pytest modules drive these under
+pytest-benchmark."""

@@ -1,0 +1,210 @@
+"""Shared plumbing for the per-figure experiment modules.
+
+Scaling: the paper ingests 500M entries with a buffer of 1% of the data;
+every experiment here keeps the paper's *ratios* (buffer %, K%, L%, read
+fractions) and shrinks N. ``REPRO_SCALE`` multiplies every default size
+(e.g. ``REPRO_SCALE=4 pytest benchmarks/`` runs 4× larger workloads).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.betree.betree import BeTree, BeTreeConfig
+from repro.btree.btree import BPlusTree, BPlusTreeConfig
+from repro.core.config import SWAREConfig
+from repro.core.sware import SortednessAwareIndex
+from repro.sortedness.generator import generate_kl_keys, scrambled_keys, sorted_keys
+from repro.storage.bufferpool import BufferPool
+from repro.storage.costmodel import CostModel, Meter
+from repro.workloads.spec import MixedWorkloadSpec, RawWorkloadSpec
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+#: Leaf/internal capacities used across all experiments (DESIGN.md §6).
+LEAF_CAPACITY = 64
+INTERNAL_CAPACITY = 64
+PAGE_SIZE = 64
+
+#: The qualitative sortedness presets of Fig. 10/18/20:
+#: (label, k_fraction, l_fraction); None marks the uniform shuffle.
+SORTEDNESS_PRESETS: List[Tuple[str, Optional[float], Optional[float]]] = [
+    ("sorted", 0.0, 0.0),
+    ("near-sorted", 0.10, 0.05),
+    ("less-sorted", 1.00, 0.50),
+    ("scrambled", None, None),
+]
+
+#: The paper's read:write ratios (read fraction of the interleaved phase).
+READ_WRITE_RATIOS: List[float] = [0.10, 0.25, 0.40, 0.50, 0.60, 0.75, 0.90]
+
+
+def scaled(n: int) -> int:
+    """Scale a base workload size by REPRO_SCALE (min 1000)."""
+    return max(1000, int(n * SCALE))
+
+
+@lru_cache(maxsize=128)
+def keys_for(
+    n: int,
+    k_fraction: Optional[float],
+    l_fraction: Optional[float],
+    seed: int = 7,
+) -> Tuple[int, ...]:
+    """Cached (K,L) key collections ((None, None) = scrambled)."""
+    if k_fraction is None:
+        return tuple(scrambled_keys(n, seed=seed))
+    if k_fraction == 0.0 or l_fraction == 0.0:
+        return tuple(sorted_keys(n))
+    return tuple(generate_kl_keys(n, k_fraction, l_fraction, seed=seed))
+
+
+def buffer_config(
+    n: int,
+    buffer_fraction: float = 0.01,
+    page_size: int = PAGE_SIZE,
+    **overrides,
+) -> SWAREConfig:
+    """A SWAREConfig whose buffer is ``buffer_fraction`` of the data size.
+
+    The capacity is page-aligned and at least two pages; tiny buffers
+    (Table III sweeps down to 0.05%) shrink the page size as needed.
+    """
+    capacity = max(8, int(n * buffer_fraction))
+    if capacity < 2 * page_size:
+        page_size = max(4, capacity // 2)
+    capacity = max(2 * page_size, (capacity // page_size) * page_size)
+    return SWAREConfig(buffer_capacity=capacity, page_size=page_size, **overrides)
+
+
+def sa_btree_factory(
+    sware_config: SWAREConfig,
+    split_factor: float = 0.8,
+    bulk_fill_factor: float = 0.95,
+    pool_capacity: Optional[int] = None,
+) -> Callable[[Meter], SortednessAwareIndex]:
+    def factory(meter: Meter) -> SortednessAwareIndex:
+        pool = BufferPool(pool_capacity, meter=meter) if pool_capacity else None
+        tree = BPlusTree(
+            BPlusTreeConfig(
+                leaf_capacity=LEAF_CAPACITY,
+                internal_capacity=INTERNAL_CAPACITY,
+                split_factor=split_factor,
+                bulk_fill_factor=bulk_fill_factor,
+                tail_leaf_optimization=True,
+            ),
+            meter=meter,
+            pool=pool,
+        )
+        return SortednessAwareIndex(tree, config=sware_config, meter=meter)
+
+    return factory
+
+
+def baseline_btree_factory(
+    pool_capacity: Optional[int] = None,
+) -> Callable[[Meter], BPlusTree]:
+    def factory(meter: Meter) -> BPlusTree:
+        pool = BufferPool(pool_capacity, meter=meter) if pool_capacity else None
+        return BPlusTree(
+            BPlusTreeConfig(
+                leaf_capacity=LEAF_CAPACITY,
+                internal_capacity=INTERNAL_CAPACITY,
+                split_factor=0.5,
+                tail_leaf_optimization=False,
+            ),
+            meter=meter,
+            pool=pool,
+        )
+
+    return factory
+
+
+def sa_betree_factory(
+    sware_config: SWAREConfig,
+    split_factor: float = 0.8,
+) -> Callable[[Meter], SortednessAwareIndex]:
+    def factory(meter: Meter) -> SortednessAwareIndex:
+        tree = BeTree(
+            BeTreeConfig(
+                node_size=64,
+                epsilon=0.5,
+                leaf_capacity=LEAF_CAPACITY,
+                split_factor=split_factor,
+            ),
+            meter=meter,
+        )
+        return SortednessAwareIndex(tree, config=sware_config, meter=meter)
+
+    return factory
+
+
+def baseline_betree_factory() -> Callable[[Meter], BeTree]:
+    def factory(meter: Meter) -> BeTree:
+        return BeTree(
+            BeTreeConfig(node_size=64, epsilon=0.5, leaf_capacity=LEAF_CAPACITY),
+            meter=meter,
+        )
+
+    return factory
+
+
+def ondisk_pool_capacity(n: int) -> int:
+    """A bufferpool holding roughly the internal nodes only (§V-E: ~1%).
+
+    Sized with slack so the internal levels of *either* index fit (an
+    80:20-split tree has a few more internals); leaves always spill.
+    """
+    leaves = max(1, (2 * n) // LEAF_CAPACITY)  # ~50% average fill
+    internals = max(1, leaves // INTERNAL_CAPACITY)
+    return max(24, 3 * internals + 16)
+
+
+def topup_ops(
+    n: int,
+    k_fraction: Optional[float],
+    l_fraction: Optional[float],
+    count: int,
+    seed: int = 7,
+) -> list:
+    """Extra inserts continuing the stream above the existing key domain.
+
+    Used to leave the SWARE-buffer (nearly) full before a read-only phase —
+    the paper "ensures the buffer is full before executing any query" for
+    worst-case lookup numbers, whereas a generated stream can happen to end
+    exactly on a flush boundary.
+    """
+    from repro.workloads.spec import INSERT, value_for
+
+    if k_fraction is None:
+        keys = scrambled_keys(count, seed=seed + 991, start=n)
+    elif k_fraction == 0.0 or l_fraction == 0.0:
+        keys = sorted_keys(count, start=n)
+    else:
+        keys = generate_kl_keys(count, k_fraction, l_fraction, seed=seed + 991, start=n)
+    return [(INSERT, key, value_for(key)) for key in keys]
+
+
+def mixed_ops(
+    keys: Sequence[int],
+    read_fraction: float,
+    seed: int = 11,
+    max_reads: Optional[int] = None,
+) -> list:
+    """Materialized mixed-workload operations (preload 80% + interleave)."""
+    if max_reads is None:
+        # Keep read-heavy runs bounded: at most 3x the data size.
+        max_reads = 3 * len(keys)
+    spec = MixedWorkloadSpec(
+        keys=tuple(keys), read_fraction=read_fraction, seed=seed, max_reads=max_reads
+    )
+    return spec.materialize()
+
+
+def raw_spec(keys: Sequence[int], n_lookups: int = 0, seed: int = 13) -> RawWorkloadSpec:
+    return RawWorkloadSpec(keys=tuple(keys), n_lookups=n_lookups, seed=seed)
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,6 @@
+"""Bε-tree substrate (the paper's write-optimized baseline)."""
+
+from repro.betree.betree import BeInternalNode, BeTree, BeTreeConfig
+from repro.betree.messages import DELETE, PUT, Message
+
+__all__ = ["BeInternalNode", "BeTree", "BeTreeConfig", "DELETE", "PUT", "Message"]

@@ -1,0 +1,35 @@
+"""Bε-tree messages.
+
+A Bε-tree encodes every mutation as a *message* that trickles down the tree
+through per-internal-node buffers [Bender et al., 2015]. We support upsert
+(``PUT``) and tombstone (``DELETE``) messages; each carries a monotonically
+increasing sequence number so recency can be resolved when a query meets
+multiple pending messages for the same key.
+
+Recency invariant (relied upon by queries): messages only move *down* the
+tree and a flush moves all of a child's pending messages in arrival order,
+so along any root-to-leaf path the message nearest the root is the newest,
+and any value already applied to a leaf is older than every pending message
+for that key.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+PUT = 0
+DELETE = 1
+
+_OP_NAMES = {PUT: "PUT", DELETE: "DELETE"}
+
+
+class Message(NamedTuple):
+    """One pending mutation: ``(key, seq, op, value)``."""
+
+    key: int
+    seq: int
+    op: int
+    value: object
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({_OP_NAMES[self.op]} key={self.key} seq={self.seq})"

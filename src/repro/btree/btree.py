@@ -1,0 +1,493 @@
+"""An in-memory B+-tree with the paper's tuning knobs.
+
+This is the baseline index of the paper (inspired by the STX B+-tree) plus
+the hooks SWARE needs (§III design elements):
+
+* **configurable split factor** — on overflow the left node keeps
+  ``split_factor`` of the entries (80:20 by default for SWARE trees, the
+  textbook 50:50 for the baseline);
+* **tail-leaf fast path** — an optional pointer to the right-most leaf so an
+  in-order insert costs O(1) node accesses instead of a root-to-leaf walk;
+* **append-only bulk loading** — a sorted batch of keys strictly above the
+  current maximum is loaded leaf-at-a-time, filling each leaf to
+  ``bulk_fill_factor`` (95% by default) and pushing separators up the right
+  spine, amortizing to O(1) per entry.
+
+Semantics: unique keys with upsert on conflict; deletes are *lazy* (the
+entry is removed, underfull/empty leaves stay in the structure and are
+skipped by scans) — the paper's workloads exercise deletes only through
+SWARE tombstone propagation, where lazy deletion is the standard choice.
+
+Every structural operation is charged to a :class:`~repro.storage.Meter`,
+and node touches are mirrored to an optional
+:class:`~repro.storage.BufferPool` so the §V-E on-disk experiments can count
+page I/O.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import BulkLoadError, ConfigError, InvariantViolation
+from repro.btree.node import InternalNode, LeafNode
+from repro.storage.bufferpool import BufferPool, PageIdAllocator
+from repro.storage.costmodel import NULL_METER, Meter
+
+
+@dataclass(frozen=True)
+class BPlusTreeConfig:
+    """Tuning knobs for :class:`BPlusTree`.
+
+    ``leaf_capacity``/``internal_capacity`` are in entries/pivots per node
+    (the paper's 4 KB pages hold 512 8-byte entries; we default to 64 to keep
+    reduced-scale trees a realistic height). ``split_factor`` is the fraction
+    kept on the left node at a split. ``bulk_fill_factor`` is how full bulk
+    loading packs a leaf, leaving headroom for later top-inserts (§IV-C).
+    """
+
+    leaf_capacity: int = 64
+    internal_capacity: int = 64
+    split_factor: float = 0.5
+    bulk_fill_factor: float = 0.95
+    tail_leaf_optimization: bool = False
+
+    def __post_init__(self) -> None:
+        if self.leaf_capacity < 2:
+            raise ConfigError("leaf_capacity must be >= 2")
+        if self.internal_capacity < 2:
+            raise ConfigError("internal_capacity must be >= 2")
+        if not 0.1 <= self.split_factor <= 0.9:
+            raise ConfigError("split_factor must be within [0.1, 0.9]")
+        if not 0.1 <= self.bulk_fill_factor <= 1.0:
+            raise ConfigError("bulk_fill_factor must be within [0.1, 1.0]")
+
+
+class BPlusTree:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        config: Optional[BPlusTreeConfig] = None,
+        meter: Optional[Meter] = None,
+        pool: Optional[BufferPool] = None,
+    ):
+        self.config = config or BPlusTreeConfig()
+        self.meter = meter if meter is not None else NULL_METER
+        self.pool = pool
+        self._pages = PageIdAllocator()
+        self._root: Optional[object] = None
+        self._tail_leaf: Optional[LeafNode] = None
+        self._head_leaf: Optional[LeafNode] = None
+        self._tail_path: List[InternalNode] = []
+        self.n_entries = 0
+        self.height = 0
+        self.leaf_count = 0
+        self.internal_count = 0
+        # Statistic counters mirrored by the paper's figures.
+        self.leaf_splits = 0
+        self.internal_splits = 0
+        self.top_inserts = 0
+        self.fastpath_inserts = 0
+        self.bulk_loaded_entries = 0
+        self._max_key: Optional[int] = None
+        self._min_key: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _touch(self, node, dirty: bool = False) -> None:
+        self.meter.charge("node_access")
+        if self.pool is not None:
+            self.pool.access(node.page_id, dirty=dirty)
+
+    def _new_leaf(self) -> LeafNode:
+        leaf = LeafNode(self._pages.allocate())
+        self.leaf_count += 1
+        if self.pool is not None:
+            self.pool.create(leaf.page_id)
+        return leaf
+
+    def _new_internal(self) -> InternalNode:
+        node = InternalNode(self._pages.allocate())
+        self.internal_count += 1
+        if self.pool is not None:
+            self.pool.create(node.page_id)
+        return node
+
+    def _ensure_root(self) -> None:
+        if self._root is None:
+            leaf = self._new_leaf()
+            self._root = leaf
+            self._tail_leaf = leaf
+            self._head_leaf = leaf
+            self._tail_path = []
+            self.height = 1
+
+    def _descend_to_leaf(self, key: int, dirty: bool = False) -> Tuple[LeafNode, List[InternalNode]]:
+        """Walk root->leaf for ``key``; returns (leaf, internal path)."""
+        node = self._root
+        path: List[InternalNode] = []
+        while not node.is_leaf:
+            self._touch(node)
+            path.append(node)
+            node = node.children[bisect_right(node.keys, key)]
+        self._touch(node, dirty=dirty)
+        return node, path
+
+    def _recompute_tail_path(self) -> None:
+        """Refresh the cached right-most path (bookkeeping, not charged)."""
+        node = self._root
+        path: List[InternalNode] = []
+        while node is not None and not node.is_leaf:
+            path.append(node)
+            node = node.children[-1]
+        self._tail_path = path
+        self._tail_leaf = node
+
+    # ------------------------------------------------------------------
+    # inserts
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: object) -> bool:
+        """Insert or update; returns True if a new entry was created."""
+        self._ensure_root()
+        self.top_inserts += 1
+        tail = self._tail_leaf
+        if (
+            self.config.tail_leaf_optimization
+            and tail is not None
+            and tail.keys
+            and key >= tail.keys[0]
+        ):
+            # Right-most leaf insertion (§III, Fig. 3a): one node access.
+            self.fastpath_inserts += 1
+            self._touch(tail, dirty=True)
+            leaf, path = tail, self._tail_path
+        else:
+            leaf, path = self._descend_to_leaf(key, dirty=True)
+
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.values[idx] = value
+            return False
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, value)
+        self.meter.charge("entry_move", len(leaf.keys) - idx)
+        self.n_entries += 1
+        if self._max_key is None or key > self._max_key:
+            self._max_key = key
+        if self._min_key is None or key < self._min_key:
+            self._min_key = key
+        if len(leaf.keys) > self.config.leaf_capacity:
+            self._split_leaf(leaf, path)
+        return True
+
+    def _split_point(self, total: int, capacity: int) -> int:
+        point = round(total * self.config.split_factor)
+        return max(1, min(point, total - 1))
+
+    def _split_leaf(self, leaf: LeafNode, path: List[InternalNode]) -> None:
+        self.leaf_splits += 1
+        self.meter.charge("leaf_split")
+        split = self._split_point(len(leaf.keys), self.config.leaf_capacity)
+        right = self._new_leaf()
+        right.keys = leaf.keys[split:]
+        right.values = leaf.values[split:]
+        del leaf.keys[split:]
+        del leaf.values[split:]
+        self.meter.charge("entry_move", len(right.keys))
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        if leaf is self._tail_leaf:
+            self._tail_leaf = right
+        self._insert_into_parent(leaf, right.keys[0], right, path)
+
+    def _split_internal(self, node: InternalNode, path: List[InternalNode]) -> None:
+        self.internal_splits += 1
+        self.meter.charge("internal_split")
+        split = self._split_point(len(node.keys), self.config.internal_capacity)
+        promoted = node.keys[split]
+        right = self._new_internal()
+        right.keys = node.keys[split + 1 :]
+        right.children = node.children[split + 1 :]
+        del node.keys[split:]
+        del node.children[split + 1 :]
+        self.meter.charge("entry_move", len(right.keys) + 1)
+        self._insert_into_parent(node, promoted, right, path)
+
+    def _insert_into_parent(
+        self, left, promoted_key: int, right, path: List[InternalNode]
+    ) -> None:
+        if not path:
+            # Splitting the root: grow the tree by one level.
+            new_root = self._new_internal()
+            new_root.keys = [promoted_key]
+            new_root.children = [left, right]
+            self._root = new_root
+            self.height += 1
+            self._recompute_tail_path()
+            return
+        parent = path[-1]
+        self._touch(parent, dirty=True)
+        idx = bisect_right(parent.keys, promoted_key)
+        parent.keys.insert(idx, promoted_key)
+        parent.children.insert(idx + 1, right)
+        self.meter.charge("entry_move", len(parent.keys) - idx)
+        if len(parent.keys) > self.config.internal_capacity:
+            self._split_internal(parent, path[:-1])
+        else:
+            self._recompute_tail_path()
+
+    # ------------------------------------------------------------------
+    # bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load_append(self, items: Sequence[Tuple[int, object]]) -> None:
+        """Append a sorted batch of strictly increasing keys > max_key.
+
+        Fills each leaf to ``bulk_fill_factor`` and pushes separators up the
+        right spine (Fig. 3b); cost is O(1) amortized per entry.
+        """
+        if not items:
+            return
+        previous = None
+        for key, _ in items:
+            if previous is not None and key <= previous:
+                raise BulkLoadError("bulk batch must be strictly increasing")
+            previous = key
+        if self._max_key is not None and items[0][0] <= self._max_key:
+            raise BulkLoadError(
+                f"bulk batch starts at {items[0][0]} but tree max is {self._max_key}"
+            )
+        self._ensure_root()
+        fill = max(1, int(self.config.leaf_capacity * self.config.bulk_fill_factor))
+        self.meter.charge("bulk_entry", len(items))
+
+        pos = 0
+        total = len(items)
+        tail = self._tail_leaf
+        # Top off the current tail leaf first so it reaches the fill target.
+        if tail.keys and len(tail.keys) < fill:
+            take = min(fill - len(tail.keys), total)
+            self._touch(tail, dirty=True)
+            for key, value in items[pos : pos + take]:
+                tail.keys.append(key)
+                tail.values.append(value)
+            pos += take
+        elif not tail.keys:
+            take = min(fill, total)
+            self._touch(tail, dirty=True)
+            for key, value in items[pos : pos + take]:
+                tail.keys.append(key)
+                tail.values.append(value)
+            pos += take
+
+        while pos < total:
+            take = min(fill, total - pos)
+            leaf = self._new_leaf()
+            for key, value in items[pos : pos + take]:
+                leaf.keys.append(key)
+                leaf.values.append(value)
+            pos += take
+            self._append_leaf(leaf)
+
+        self.n_entries += total
+        self.bulk_loaded_entries += total
+        self._max_key = items[-1][0] if self._max_key is None else max(self._max_key, items[-1][0])
+        if self._min_key is None:
+            self._min_key = items[0][0]
+
+    def _append_leaf(self, leaf: LeafNode) -> None:
+        """Attach a freshly built leaf at the right edge of the tree."""
+        tail = self._tail_leaf
+        leaf.next_leaf = tail.next_leaf
+        tail.next_leaf = leaf
+        self._tail_leaf = leaf
+        if self._root is tail:
+            # Root was a lone leaf: create the first internal level.
+            new_root = self._new_internal()
+            new_root.keys = [leaf.keys[0]]
+            new_root.children = [tail, leaf]
+            self._root = new_root
+            self.height += 1
+            self._recompute_tail_path()
+            return
+        parent = self._tail_path[-1]
+        self._touch(parent, dirty=True)
+        parent.keys.append(leaf.keys[0])
+        parent.children.append(leaf)
+        if len(parent.keys) > self.config.internal_capacity:
+            self._split_internal(parent, self._tail_path[:-1])
+        # No path recompute needed otherwise: parent chain unchanged.
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> Optional[object]:
+        """Point lookup; returns the value or None."""
+        if self._root is None:
+            return None
+        leaf, _ = self._descend_to_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def range_query(self, lo: int, hi: int) -> List[Tuple[int, object]]:
+        """All (key, value) with lo <= key <= hi, in key order."""
+        results: List[Tuple[int, object]] = []
+        if self._root is None or lo > hi:
+            return results
+        leaf, _ = self._descend_to_leaf(lo)
+        while leaf is not None:
+            keys = leaf.keys
+            if keys:
+                if keys[0] > hi:
+                    break
+                start = bisect_left(keys, lo)
+                stop = bisect_right(keys, hi)
+                self.meter.charge("scan_entry", max(stop - start, 0))
+                for i in range(start, stop):
+                    results.append((keys[i], leaf.values[i]))
+                if stop < len(keys):
+                    break
+            leaf = leaf.next_leaf
+            if leaf is not None:
+                self._touch(leaf)
+        return results
+
+    def iter_items(self) -> Iterator[Tuple[int, object]]:
+        """All entries in key order (no cost charged: test/debug helper)."""
+        leaf = self._head_leaf
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next_leaf
+
+    # ------------------------------------------------------------------
+    # deletes
+    # ------------------------------------------------------------------
+    def delete(self, key: int) -> bool:
+        """Remove ``key`` if present (lazy: no rebalancing).
+
+        ``min_key``/``max_key`` are *watermark* bounds: they never shrink on
+        deletes. A stale bound only costs a wasted lookup for a key outside
+        the live range — whereas shrinking ``max_key`` below the right-most
+        separator would let a later bulk load append keys that belong left
+        of that separator into the tail leaf.
+        """
+        if self._root is None:
+            return False
+        leaf, _ = self._descend_to_leaf(key, dirty=True)
+        idx = bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        leaf.keys.pop(idx)
+        leaf.values.pop(idx)
+        self.meter.charge("entry_move", len(leaf.keys) - idx + 1)
+        self.n_entries -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def max_key(self) -> Optional[int]:
+        """High-watermark upper bound (never shrinks on deletes)."""
+        return self._max_key
+
+    @property
+    def min_key(self) -> Optional[int]:
+        """Low-watermark lower bound (never grows on deletes)."""
+        return self._min_key
+
+    def __len__(self) -> int:
+        return self.n_entries
+
+    def space_stats(self) -> dict:
+        """Space-utilization report (intro claim: up to 48% reduction)."""
+        leaf_slots = self.leaf_count * self.config.leaf_capacity
+        used = self.n_entries
+        fills: List[float] = []
+        leaf = self._head_leaf
+        while leaf is not None:
+            fills.append(len(leaf.keys) / self.config.leaf_capacity)
+            leaf = leaf.next_leaf
+        avg_fill = sum(fills) / len(fills) if fills else 0.0
+        return {
+            "leaf_count": self.leaf_count,
+            "internal_count": self.internal_count,
+            "height": self.height,
+            "leaf_slots": leaf_slots,
+            "entries": used,
+            "avg_leaf_fill": avg_fill,
+            "slot_overhead": (leaf_slots / used) if used else 0.0,
+        }
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises InvariantViolation."""
+        if self._root is None:
+            return
+        leaf_depths = set()
+
+        def recurse(node, depth: int, lo: Optional[int], hi: Optional[int]) -> None:
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                keys = node.keys
+                if len(keys) > self.config.leaf_capacity:
+                    raise InvariantViolation(
+                        f"leaf holds {len(keys)} > capacity {self.config.leaf_capacity}"
+                    )
+                for i in range(1, len(keys)):
+                    if keys[i - 1] >= keys[i]:
+                        raise InvariantViolation(f"leaf keys not strictly sorted: {keys}")
+                for key in keys:
+                    if lo is not None and key < lo:
+                        raise InvariantViolation(f"leaf key {key} below separator {lo}")
+                    if hi is not None and key >= hi:
+                        raise InvariantViolation(f"leaf key {key} at/above separator {hi}")
+                return
+            if len(node.children) != len(node.keys) + 1:
+                raise InvariantViolation("internal child count mismatch")
+            if len(node.keys) > self.config.internal_capacity:
+                raise InvariantViolation(
+                    f"internal holds {len(node.keys)} > capacity {self.config.internal_capacity}"
+                )
+            for i in range(1, len(node.keys)):
+                if node.keys[i - 1] >= node.keys[i]:
+                    raise InvariantViolation("internal keys not strictly sorted")
+            bounds = [lo] + list(node.keys) + [hi]
+            for i, child in enumerate(node.children):
+                recurse(child, depth + 1, bounds[i], bounds[i + 1])
+
+        recurse(self._root, 1, None, None)
+        if len(leaf_depths) > 1:
+            raise InvariantViolation(f"leaves at multiple depths: {leaf_depths}")
+        if leaf_depths and next(iter(leaf_depths)) != self.height:
+            raise InvariantViolation(
+                f"height {self.height} does not match leaf depth {leaf_depths}"
+            )
+        # Leaf chain must be globally sorted and cover n_entries.
+        count = 0
+        previous = None
+        leaf = self._head_leaf
+        last_nonempty = None
+        while leaf is not None:
+            for key in leaf.keys:
+                if previous is not None and key <= previous:
+                    raise InvariantViolation("leaf chain out of order")
+                previous = key
+                count += 1
+            if leaf.keys:
+                last_nonempty = leaf
+            leaf = leaf.next_leaf
+        if count != self.n_entries:
+            raise InvariantViolation(f"entry count {count} != n_entries {self.n_entries}")
+        if self._tail_leaf is not None and self._tail_leaf.next_leaf is not None:
+            raise InvariantViolation("tail leaf is not the end of the chain")
+        if last_nonempty is not None and (
+            self._max_key is None or self._max_key < last_nonempty.keys[-1]
+        ):
+            raise InvariantViolation("max_key watermark below right-most entry")

@@ -1,0 +1,55 @@
+"""B+-tree node structures.
+
+Nodes are array-packed: a leaf holds parallel ``keys``/``values`` lists and a
+``next_leaf`` link (leaves form a singly linked chain for range scans); an
+internal node holds ``len(children) == len(keys) + 1`` with the usual
+separator convention — child ``i`` covers keys < ``keys[i]``, child ``i+1``
+covers keys >= ``keys[i]``.
+
+Every node carries a ``page_id`` so the simulated bufferpool can treat it as
+a 4 KB page (§V-E of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class LeafNode:
+    __slots__ = ("page_id", "keys", "values", "next_leaf")
+
+    def __init__(self, page_id: int):
+        self.page_id = page_id
+        self.keys: List[int] = []
+        self.values: List[object] = []
+        self.next_leaf: Optional["LeafNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = self.keys[:4]
+        return f"LeafNode(page={self.page_id}, n={len(self.keys)}, keys={head}...)"
+
+
+class InternalNode:
+    __slots__ = ("page_id", "keys", "children")
+
+    def __init__(self, page_id: int):
+        self.page_id = page_id
+        self.keys: List[int] = []
+        self.children: List[object] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InternalNode(page={self.page_id}, n_keys={len(self.keys)})"

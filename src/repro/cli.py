@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Emit a (K,L)-near sorted key collection, one key per line.
+``measure``
+    Measure the (K,L)-sortedness of a key file (or stdin).
+``demo``
+    Ingest a generated workload into the SA B+-tree and the baseline
+    B+-tree and report the simulated speedup and ingestion statistics.
+``experiment``
+    Run one of the paper's experiments by name (fig09 … fig21, table1,
+    table3, flush_threshold, zonemap_ablation, space, lsm_sortedness) and
+    print its report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+EXPERIMENTS = [
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "table1",
+    "table3",
+    "flush_threshold",
+    "zonemap_ablation",
+    "space",
+    "lsm_sortedness",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SWARE: sortedness-aware indexing (ICDE 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="emit a (K,L)-near sorted key collection")
+    gen.add_argument("--n", type=int, default=10_000)
+    gen.add_argument("--k", type=float, default=0.10, help="K fraction in [0,1]")
+    gen.add_argument("--l", type=float, default=0.05, help="L fraction in [0,1]")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--scrambled", action="store_true", help="uniform shuffle instead")
+    gen.add_argument("--out", type=str, default="-", help="output file (default stdout)")
+
+    meas = sub.add_parser("measure", help="measure sortedness of a key file")
+    meas.add_argument("path", nargs="?", default="-", help="file of keys (default stdin)")
+
+    demo = sub.add_parser("demo", help="compare SA B+-tree vs B+-tree on a workload")
+    demo.add_argument("--n", type=int, default=20_000)
+    demo.add_argument("--k", type=float, default=0.10)
+    demo.add_argument("--l", type=float, default=0.05)
+    demo.add_argument("--read-fraction", type=float, default=0.5)
+    demo.add_argument("--buffer-fraction", type=float, default=0.01)
+    demo.add_argument("--seed", type=int, default=7)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment by name")
+    exp.add_argument("name", choices=EXPERIMENTS)
+    exp.add_argument("--n", type=int, default=None, help="override workload size")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.sortedness.generator import generate_kl_keys, scrambled_keys
+
+    if args.scrambled:
+        keys = scrambled_keys(args.n, seed=args.seed)
+    else:
+        keys = generate_kl_keys(args.n, args.k, args.l, seed=args.seed)
+    text = "\n".join(str(key) for key in keys) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.n} keys to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _read_keys(path: str) -> List[int]:
+    if path == "-":
+        lines = sys.stdin.read().split()
+    else:
+        with open(path) as handle:
+            lines = handle.read().split()
+    return [int(token) for token in lines]
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro.sortedness.metrics import measure_sortedness
+
+    keys = _read_keys(args.path)
+    if not keys:
+        print("no keys to measure", file=sys.stderr)
+        return 1
+    report = measure_sortedness(keys)
+    print(f"n           : {report.n}")
+    print(f"K           : {report.k} ({report.k_fraction:.2%})")
+    print(f"L           : {report.l} ({report.l_fraction:.2%})")
+    print(f"inversions  : {report.inversions}")
+    print(f"degree      : {report.degree()}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import common
+    from repro.bench.runner import run_phases, speedup
+
+    keys = common.keys_for(args.n, args.k, args.l, seed=args.seed)
+    ops = common.mixed_ops(keys, args.read_fraction, seed=args.seed)
+    base = run_phases(common.baseline_btree_factory(), [("mixed", ops)], label="B+")
+    sa = run_phases(
+        common.sa_btree_factory(common.buffer_config(args.n, args.buffer_fraction)),
+        [("mixed", ops)],
+        label="SA",
+    )
+    print(
+        f"workload: n={args.n}, K={args.k:.0%}, L={args.l:.0%}, "
+        f"{args.read_fraction:.0%} reads, buffer={args.buffer_fraction:.1%}"
+    )
+    print(f"B+-tree    : {base.sim_ns / 1e6:9.2f} ms simulated")
+    print(f"SA B+-tree : {sa.sim_ns / 1e6:9.2f} ms simulated")
+    print(f"speedup    : {speedup(base, sa):.2f}x")
+    stats = sa.sware_stats
+    print(
+        f"ingestion  : {stats['bulk_loaded_entries']:.0f} bulk-loaded, "
+        f"{stats['top_inserted_entries']:.0f} top-inserted, "
+        f"{stats['flushes']:.0f} flushes"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = importlib.import_module(f"repro.bench.experiments.{args.name}")
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    result = module.run(**kwargs)
+    print(result.report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "measure": _cmd_measure,
+        "demo": _cmd_demo,
+        "experiment": _cmd_experiment,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The SWARE meta-design: buffer, wrapper, configuration, statistics."""
+
+from repro.core.advisor import Recommendation, recommend, recommend_for_sample
+from repro.core.buffer import HIT, MISS, TOMBSTONE, FlushBatch, SWAREBuffer
+from repro.core.concurrency import LockManager, SWARELockProtocol
+from repro.core.config import SWAREConfig
+from repro.core.factory import (
+    make_baseline_betree,
+    make_baseline_btree,
+    make_sa_betree,
+    make_sa_btree,
+)
+from repro.core.stats import SWAREStats
+from repro.core.sware import SortednessAwareIndex, TreeBackend
+from repro.core.zonemap import PageZonemaps, Zonemap
+
+__all__ = [
+    "Recommendation",
+    "recommend",
+    "recommend_for_sample",
+    "LockManager",
+    "SWARELockProtocol",
+    "HIT",
+    "MISS",
+    "TOMBSTONE",
+    "FlushBatch",
+    "SWAREBuffer",
+    "SWAREConfig",
+    "SWAREStats",
+    "SortednessAwareIndex",
+    "TreeBackend",
+    "PageZonemaps",
+    "Zonemap",
+    "make_baseline_betree",
+    "make_baseline_btree",
+    "make_sa_betree",
+    "make_sa_btree",
+]

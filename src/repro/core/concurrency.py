@@ -1,0 +1,174 @@
+"""The SWARE-buffer concurrency-control protocol (§IV-D), simulated.
+
+The paper sketches how a multi-threaded SA B+-tree serializes access to the
+SWARE-buffer:
+
+* every insert *instantaneously* takes the buffer-wide lock to check
+  whether it will trigger a flush;
+* if no flush triggers, the buffer-wide lock is released and the worker
+  locks only the page it appends to (lock-crabbing) plus that page's
+  metadata (the page-wise lock protects the page Zonemap/BF; the global BF
+  and ``last_sorted_zone`` ride along);
+* if a flush triggers, the buffer-wide **exclusive** lock is held until the
+  flush completes;
+* queries take shared locks; query-driven sorting upgrades the reader to an
+  exclusive lock (as concurrent adaptive indexing requires).
+
+CPython threads would serialize the actual work anyway (DESIGN.md
+substitution #6), so this module implements the *protocol* over a virtual
+lock manager: schedules of worker steps are executed deterministically and
+every invariant the paper relies on is checkable — writers never share a
+page, a flush excludes everyone, an upgrade waits for other readers to
+leave. The test suite drives interleavings through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+
+SHARED = "S"
+EXCLUSIVE = "X"
+
+#: The whole-buffer lock resource name; pages are ``page:<index>``.
+BUFFER = "buffer"
+
+
+class LockConflict(ReproError):
+    """A lock request that must wait (the simulator surfaces it instead of
+    blocking, so tests can assert *when* waiting is required)."""
+
+
+@dataclass
+class _Lock:
+    mode: Optional[str] = None
+    holders: Set[str] = field(default_factory=set)
+
+
+class LockManager:
+    """A table of named S/X locks with upgrade support.
+
+    ``acquire`` either grants the lock or raises :class:`LockConflict`;
+    there is no blocking because the caller owns the schedule.
+    """
+
+    def __init__(self) -> None:
+        self._locks: Dict[str, _Lock] = {}
+        self.trace: List[Tuple[str, str, str, str]] = []  # (event, worker, resource, mode)
+
+    def _lock(self, resource: str) -> _Lock:
+        return self._locks.setdefault(resource, _Lock())
+
+    def acquire(self, worker: str, resource: str, mode: str) -> None:
+        lock = self._lock(resource)
+        if lock.mode is None or not lock.holders:
+            lock.mode = mode
+            lock.holders = {worker}
+        elif worker in lock.holders and len(lock.holders) == 1:
+            # Re-entrant / upgrade by the sole holder.
+            if mode == EXCLUSIVE:
+                lock.mode = EXCLUSIVE
+        elif lock.mode == SHARED and mode == SHARED:
+            lock.holders.add(worker)
+        elif worker in lock.holders and mode == SHARED:
+            pass  # already covered by a stronger or equal hold
+        else:
+            raise LockConflict(
+                f"{worker} cannot take {mode} on {resource!r}: held {lock.mode} "
+                f"by {sorted(lock.holders)}"
+            )
+        self.trace.append(("acquire", worker, resource, mode))
+
+    def release(self, worker: str, resource: str) -> None:
+        lock = self._locks.get(resource)
+        if lock is None or worker not in lock.holders:
+            raise ReproError(f"{worker} does not hold {resource!r}")
+        lock.holders.discard(worker)
+        if not lock.holders:
+            lock.mode = None
+        self.trace.append(("release", worker, resource, lock.mode or "-"))
+
+    def release_all(self, worker: str) -> None:
+        for resource, lock in self._locks.items():
+            if worker in lock.holders:
+                self.release(worker, resource)
+
+    def holders(self, resource: str) -> Set[str]:
+        lock = self._locks.get(resource)
+        return set(lock.holders) if lock else set()
+
+    def mode(self, resource: str) -> Optional[str]:
+        lock = self._locks.get(resource)
+        return lock.mode if lock and lock.holders else None
+
+
+class SWARELockProtocol:
+    """Drives the §IV-D locking discipline over a :class:`LockManager`.
+
+    The protocol object is deliberately decoupled from the actual
+    :class:`~repro.core.buffer.SWAREBuffer`: it models who may touch what
+    and when, parameterized by the buffer geometry.
+    """
+
+    def __init__(self, n_pages: int):
+        if n_pages < 1:
+            raise ValueError("n_pages must be >= 1")
+        self.n_pages = n_pages
+        self.locks = LockManager()
+        self._readers: Set[str] = set()
+
+    # -- write path ------------------------------------------------------
+    def begin_insert(self, worker: str, triggers_flush: bool, page: int) -> str:
+        """The insert prologue; returns "append" or "flush".
+
+        The buffer-wide lock is taken instantaneously for the flush check;
+        on the append path it is released immediately and replaced by the
+        page lock (which also protects that page's metadata).
+        """
+        if not 0 <= page < self.n_pages:
+            raise ValueError(f"page {page} out of range")
+        self.locks.acquire(worker, BUFFER, EXCLUSIVE)
+        if triggers_flush:
+            return "flush"  # buffer-wide X held until finish_flush
+        self.locks.release(worker, BUFFER)
+        self.locks.acquire(worker, f"page:{page}", EXCLUSIVE)
+        return "append"
+
+    def finish_append(self, worker: str, page: int) -> None:
+        self.locks.release(worker, f"page:{page}")
+
+    def finish_flush(self, worker: str) -> None:
+        self.locks.release(worker, BUFFER)
+
+    # -- read path -------------------------------------------------------
+    def begin_query(self, worker: str) -> None:
+        self.locks.acquire(worker, BUFFER, SHARED)
+        self._readers.add(worker)
+
+    def upgrade_for_query_sort(self, worker: str) -> None:
+        """Query-driven sorting upgrades the reader to exclusive."""
+        if worker not in self._readers:
+            raise ReproError(f"{worker} is not an active reader")
+        self.locks.acquire(worker, BUFFER, EXCLUSIVE)
+
+    def finish_query(self, worker: str) -> None:
+        self._readers.discard(worker)
+        self.locks.release(worker, BUFFER)
+
+    # -- invariants --------------------------------------------------------
+    def check_invariants(self) -> None:
+        """No two writers share a page; a flush excludes everything."""
+        buffer_mode = self.locks.mode(BUFFER)
+        buffer_holders = self.locks.holders(BUFFER)
+        if buffer_mode == EXCLUSIVE and len(buffer_holders) > 1:
+            raise ReproError("buffer X lock shared by multiple workers")
+        for page in range(self.n_pages):
+            holders = self.locks.holders(f"page:{page}")
+            if len(holders) > 1:
+                raise ReproError(f"page {page} exclusively held by {holders}")
+            if holders and buffer_mode == EXCLUSIVE and holders != buffer_holders:
+                raise ReproError(
+                    "a page is locked while another worker flushes the buffer"
+                )

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause,
+while still being able to discriminate configuration problems from runtime
+invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object was constructed with invalid parameters."""
+
+
+class BulkLoadError(ReproError, ValueError):
+    """A bulk-load batch violated its precondition.
+
+    Bulk loading in this library is *append-only*: the batch must be sorted
+    in non-decreasing key order and every key must be strictly greater than
+    the current maximum key of the index.
+    """
+
+
+class KLSortCapacityError(ReproError, RuntimeError):
+    """The (K,L)-adaptive sort exceeded its side-buffer capacity.
+
+    The paper notes that (K,L)-adaptive sorting "fails for significantly
+    high values of K or L"; this exception is that failure surfaced so the
+    caller can fall back to a general-purpose stable sort.
+    """
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """An internal structural invariant check failed.
+
+    Raised by the explicit ``check_invariants()`` validators on the tree
+    structures; these are exercised heavily by the test suite and are cheap
+    enough to call after metamorphic operation sequences.
+    """
+
+
+class PagePinnedError(ReproError, RuntimeError):
+    """A bufferpool frame could not be evicted because it is pinned."""
+
+
+class BufferpoolFullError(ReproError, RuntimeError):
+    """Every frame in the bufferpool is pinned; no victim can be chosen."""

@@ -1,0 +1,14 @@
+"""Bloom filters and the hash functions that feed them."""
+
+from repro.filters.bloom import BloomFilter, optimal_num_probes
+from repro.filters.hashing import SharedHash, murmur3_32, murmur3_64, rotate64, splitmix64
+
+__all__ = [
+    "BloomFilter",
+    "optimal_num_probes",
+    "SharedHash",
+    "murmur3_32",
+    "murmur3_64",
+    "rotate64",
+    "splitmix64",
+]

@@ -1,0 +1,19 @@
+"""Sorted-sequence search algorithms (interpolation, binary, exponential)."""
+
+from repro.search.interpolation import (
+    MAX_INTERPOLATION_STEPS,
+    binary_search_rightmost,
+    exponential_search_rightmost,
+    interpolation_search,
+    lower_bound,
+    upper_bound,
+)
+
+__all__ = [
+    "MAX_INTERPOLATION_STEPS",
+    "binary_search_rightmost",
+    "exponential_search_rightmost",
+    "interpolation_search",
+    "lower_bound",
+    "upper_bound",
+]

@@ -1,0 +1,153 @@
+"""Search algorithms over sorted key sequences.
+
+The SWARE read path uses interpolation search on the sorted section(s) of
+the buffer (§IV-B): expected O(log log n) steps on near-uniform keys, which
+the paper calls "a notable upgrade from binary search". For adversarial key
+distributions the paper suggests falling back to binary or exponential
+search; :func:`interpolation_search` therefore bounds the number of
+interpolation steps and degrades to binary search if it has not converged.
+
+All functions operate on a random-access sequence ``keys`` (anything
+supporting ``__len__``/``__getitem__``) restricted to ``[lo, hi)`` and return
+the index of the **rightmost** occurrence of ``target`` (the most recent
+version, given that buffer entries are stably sorted by (key, arrival)), or
+``-1`` when absent. Each also reports how many probe steps it took via an
+optional mutable ``steps`` list, which the cost model uses.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Sequence
+
+#: Interpolation steps allowed before degrading to binary search. log log n
+#: for any realistic n is < 6; a skewed distribution shows up as exceeding
+#: this budget.
+MAX_INTERPOLATION_STEPS = 16
+
+
+def binary_search_rightmost(
+    keys: Sequence[int],
+    target: int,
+    lo: int = 0,
+    hi: Optional[int] = None,
+    steps: Optional[List[int]] = None,
+) -> int:
+    """Index of the rightmost ``target`` in ``keys[lo:hi]``, or -1."""
+    if hi is None:
+        hi = len(keys)
+    n_steps = 0
+    left, right = lo, hi
+    while left < right:
+        n_steps += 1
+        mid = (left + right) // 2
+        if keys[mid] <= target:
+            left = mid + 1
+        else:
+            right = mid
+    if steps is not None:
+        steps.append(n_steps)
+    idx = left - 1
+    if idx >= lo and keys[idx] == target:
+        return idx
+    return -1
+
+
+def interpolation_search(
+    keys: Sequence[int],
+    target: int,
+    lo: int = 0,
+    hi: Optional[int] = None,
+    steps: Optional[List[int]] = None,
+) -> int:
+    """Rightmost index of ``target`` in sorted ``keys[lo:hi]``, or -1.
+
+    Runs interpolation probes while the value distribution cooperates and
+    falls back to binary search after :data:`MAX_INTERPOLATION_STEPS`.
+    """
+    if hi is None:
+        hi = len(keys)
+    left, right = lo, hi - 1
+    n_steps = 0
+    while left <= right:
+        lo_key = keys[left]
+        hi_key = keys[right]
+        if target < lo_key or target > hi_key:
+            if steps is not None:
+                steps.append(n_steps)
+            return -1
+        if lo_key == hi_key:
+            # Constant run; every slot equals target (since target is within
+            # [lo_key, hi_key]). Rightmost occurrence is ``right``.
+            if steps is not None:
+                steps.append(n_steps)
+            return right
+        n_steps += 1
+        if n_steps > MAX_INTERPOLATION_STEPS:
+            result = binary_search_rightmost(keys, target, left, right + 1, steps=None)
+            if steps is not None:
+                steps.append(n_steps)
+            return result
+        # Interpolate the probe position; bias towards the right end so that
+        # with duplicates we converge on the rightmost occurrence.
+        pos = left + (target - lo_key) * (right - left) // (hi_key - lo_key)
+        pos = min(max(pos, left), right)
+        probe = keys[pos]
+        if probe <= target:
+            # Check whether pos is already the rightmost occurrence.
+            if probe == target and (pos == right or keys[pos + 1] > target):
+                if steps is not None:
+                    steps.append(n_steps)
+                return pos
+            left = pos + 1
+        else:
+            right = pos - 1
+    if steps is not None:
+        steps.append(n_steps)
+    # Converged without finding target; it may still sit at index ``right``.
+    return -1
+
+
+def exponential_search_rightmost(
+    keys: Sequence[int],
+    target: int,
+    lo: int = 0,
+    hi: Optional[int] = None,
+    steps: Optional[List[int]] = None,
+) -> int:
+    """Unbounded (galloping) search from the left edge; rightmost match.
+
+    Useful when the target is expected near the beginning of the range
+    (e.g. range-scan resumption); O(log d) where d is the match distance.
+    """
+    if hi is None:
+        hi = len(keys)
+    if lo >= hi:
+        if steps is not None:
+            steps.append(0)
+        return -1
+    n_steps = 0
+    bound = 1
+    while lo + bound < hi and keys[lo + bound] <= target:
+        bound *= 2
+        n_steps += 1
+    left = lo + bound // 2
+    right = min(lo + bound + 1, hi)
+    result = binary_search_rightmost(keys, target, left, right, steps=None)
+    if steps is not None:
+        steps.append(n_steps)
+    return result
+
+
+def lower_bound(keys: Sequence[int], target: int, lo: int = 0, hi: Optional[int] = None) -> int:
+    """First index whose key is >= target (plain bisect_left wrapper)."""
+    if hi is None:
+        hi = len(keys)
+    return bisect_left(keys, target, lo, hi)
+
+
+def upper_bound(keys: Sequence[int], target: int, lo: int = 0, hi: Optional[int] = None) -> int:
+    """First index whose key is > target (plain bisect_right wrapper)."""
+    if hi is None:
+        hi = len(keys)
+    return bisect_right(keys, target, lo, hi)

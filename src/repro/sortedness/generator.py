@@ -1,0 +1,186 @@
+"""BoDS-style (K,L)-near sorted workload generation.
+
+The paper evaluates against collections produced by the *Benchmark on Data
+Sortedness* [Raman et al., TPCTC 2022], which takes target values of K (how
+many elements are out of order) and L (how far they may travel, both as
+fractions of N) and emits a data collection exhibiting that sortedness.
+
+Our generator starts from the fully sorted key sequence and applies random
+pairwise swaps: each swap displaces two elements, the swap distance is drawn
+up to ``L·N`` (with at least one swap pinned at the maximum distance so the
+measured L hits the target), and swapped positions are kept disjoint while
+possible so the achieved K tracks the request closely. ``scrambled``
+workloads are a uniform shuffle, exactly as in the paper's Fig. 9(f).
+
+Every generated collection can be fed to
+:func:`repro.sortedness.metrics.measure_sortedness` — the test-suite asserts
+the achieved (K,L) lands near the request.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: The qualitative degrees of sortedness used across the paper's experiments,
+#: mapped to (K-fraction, L-fraction). ``None`` marks the uniform shuffle.
+NAMED_DEGREES: Dict[str, Optional[Tuple[float, float]]] = {
+    "sorted": (0.0, 0.0),
+    "near_sorted": (0.10, 0.05),
+    "less_sorted": (1.00, 0.50),
+    "scrambled": None,
+}
+
+
+@dataclass(frozen=True)
+class GeneratedWorkload:
+    """A generated key collection plus its generation parameters."""
+
+    keys: List[int]
+    k_fraction: float
+    l_fraction: float
+    seed: int
+    label: str = ""
+
+    @property
+    def n(self) -> int:
+        return len(self.keys)
+
+
+def sorted_keys(n: int, start: int = 0, gap: int = 1) -> List[int]:
+    """The fully sorted base collection: ``start, start+gap, ...``.
+
+    A gap > 1 leaves key-space holes so that experiments can issue inserts
+    or non-member lookups between existing keys.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if gap <= 0:
+        raise ValueError("gap must be positive")
+    return list(range(start, start + n * gap, gap))
+
+
+def generate_kl_keys(
+    n: int,
+    k_fraction: float,
+    l_fraction: float,
+    seed: int = 0,
+    start: int = 0,
+    gap: int = 1,
+) -> List[int]:
+    """A (K,L)-near sorted permutation of the sorted base collection.
+
+    ``k_fraction`` and ``l_fraction`` are the paper's K% and L% expressed in
+    [0, 1]. ``k_fraction == 0`` or ``l_fraction == 0`` yields the fully
+    sorted collection (a collection is completely sorted iff K=0 or L=0,
+    §II).
+    """
+    if not 0.0 <= k_fraction <= 1.0:
+        raise ValueError("k_fraction must be within [0, 1]")
+    if not 0.0 <= l_fraction <= 1.0:
+        raise ValueError("l_fraction must be within [0, 1]")
+    keys = sorted_keys(n, start=start, gap=gap)
+    if n < 2 or k_fraction == 0.0 or l_fraction == 0.0:
+        return keys
+
+    rng = random.Random(seed)
+    max_distance = max(1, int(l_fraction * n))
+    target_displaced = int(k_fraction * n)
+    if target_displaced < 2:
+        return keys
+
+    displaced: set = set()
+    n_displaced = 0
+    attempts = 0
+    max_attempts = 6 * n  # generous; disjointness gets hard near K=100%
+    # Pin one swap at the maximum distance so measured L reaches the target.
+    if max_distance < n:
+        anchor = rng.randrange(0, n - max_distance)
+        partner = anchor + max_distance
+        keys[anchor], keys[partner] = keys[partner], keys[anchor]
+        displaced.update((anchor, partner))
+        n_displaced += 2
+
+    while n_displaced < target_displaced and attempts < max_attempts:
+        attempts += 1
+        p = rng.randrange(n)
+        if p in displaced:
+            continue
+        lo = max(0, p - max_distance)
+        hi = min(n - 1, p + max_distance)
+        q = rng.randint(lo, hi)
+        if q == p or q in displaced:
+            continue
+        keys[p], keys[q] = keys[q], keys[p]
+        displaced.update((p, q))
+        n_displaced += 2
+    return keys
+
+
+def scrambled_keys(n: int, seed: int = 0, start: int = 0, gap: int = 1) -> List[int]:
+    """A uniformly random permutation of the sorted base collection."""
+    keys = sorted_keys(n, start=start, gap=gap)
+    random.Random(seed).shuffle(keys)
+    return keys
+
+
+def generate_workload(
+    n: int,
+    degree: str = "near_sorted",
+    seed: int = 0,
+    start: int = 0,
+    gap: int = 1,
+) -> GeneratedWorkload:
+    """Generate by qualitative degree name (see :data:`NAMED_DEGREES`)."""
+    if degree not in NAMED_DEGREES:
+        raise ValueError(
+            f"unknown degree {degree!r}; expected one of {sorted(NAMED_DEGREES)}"
+        )
+    params = NAMED_DEGREES[degree]
+    if params is None:
+        return GeneratedWorkload(
+            keys=scrambled_keys(n, seed=seed, start=start, gap=gap),
+            k_fraction=1.0,
+            l_fraction=1.0,
+            seed=seed,
+            label=degree,
+        )
+    k_fraction, l_fraction = params
+    return GeneratedWorkload(
+        keys=generate_kl_keys(n, k_fraction, l_fraction, seed=seed, start=start, gap=gap),
+        k_fraction=k_fraction,
+        l_fraction=l_fraction,
+        seed=seed,
+        label=degree,
+    )
+
+
+def workload_family(
+    n: int,
+    kl_grid: List[Tuple[float, float]],
+    seed: int = 0,
+    start: int = 0,
+    gap: int = 1,
+) -> List[GeneratedWorkload]:
+    """A family of differently sorted collections over the same key set.
+
+    This mirrors the paper's Fig. 9 family: one collection per (K%, L%)
+    point, all permutations of the same base keys, so index contents are
+    identical at the end of ingestion and only arrival order differs.
+    """
+    family = []
+    for index, (k_fraction, l_fraction) in enumerate(kl_grid):
+        keys = generate_kl_keys(
+            n, k_fraction, l_fraction, seed=seed + index, start=start, gap=gap
+        )
+        family.append(
+            GeneratedWorkload(
+                keys=keys,
+                k_fraction=k_fraction,
+                l_fraction=l_fraction,
+                seed=seed + index,
+                label=f"K={k_fraction:.0%},L={l_fraction:.0%}",
+            )
+        )
+    return family

@@ -1,0 +1,243 @@
+"""Quantifying data sortedness with the (K,L) metric.
+
+Following Ben-Moshe et al. [ICDT 2011], a collection is (K,L)-near sorted
+when at most ``K`` elements are out of order and no out-of-order element is
+displaced by more than ``L`` positions from where it belongs:
+
+* ``K`` — the minimum number of elements whose removal leaves the sequence
+  sorted; computed exactly as ``N`` minus the length of the longest
+  non-decreasing subsequence (patience sorting, O(N log N)).
+* ``L`` — the maximum positional displacement, computed against the stable
+  sorted order of the collection.
+
+We also expose the inversion count (the classic "how unsorted" measure used
+by Mannila [1985] and the streaming literature the paper cites) because the
+test suite uses it to cross-check the generator.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class SortednessReport:
+    """Measured sortedness of a collection of ``n`` keys."""
+
+    n: int
+    k: int  #: number of out-of-order elements (exact, minimal)
+    l: int  #: maximum positional displacement
+    inversions: int
+
+    @property
+    def k_fraction(self) -> float:
+        """K as a fraction of the collection size (the paper's K%)."""
+        return self.k / self.n if self.n else 0.0
+
+    @property
+    def l_fraction(self) -> float:
+        """L as a fraction of the collection size (the paper's L%)."""
+        return self.l / self.n if self.n else 0.0
+
+    @property
+    def is_sorted(self) -> bool:
+        """A collection is completely sorted iff K == 0 (equivalently L == 0)."""
+        return self.k == 0
+
+    def degree(self) -> str:
+        """Qualitative degree per §II of the paper.
+
+        Near-sorted: low K and L, or one high while the other is low.
+        Less-sorted / scrambled: both high.
+        """
+        kf, lf = self.k_fraction, self.l_fraction
+        if self.k == 0:
+            return "sorted"
+        if kf <= 0.25 or lf <= 0.10:
+            return "near-sorted"
+        if kf >= 0.9 and lf >= 0.4:
+            return "scrambled"
+        return "less-sorted"
+
+
+def longest_nondecreasing_subsequence_length(keys: Sequence[int]) -> int:
+    """Length of the longest non-decreasing subsequence (patience sorting)."""
+    tails: List[int] = []  # tails[i] = smallest tail of a subsequence of len i+1
+    for key in keys:
+        pos = bisect_right(tails, key)
+        if pos == len(tails):
+            tails.append(key)
+        else:
+            tails[pos] = key
+    return len(tails)
+
+
+def count_out_of_order(keys: Sequence[int]) -> int:
+    """Exact K: minimum removals that leave the sequence non-decreasing."""
+    return len(keys) - longest_nondecreasing_subsequence_length(keys)
+
+
+def max_displacement(keys: Sequence[int]) -> int:
+    """Exact L: max |i - sorted_position(i)| under a stable sort."""
+    order = sorted(range(len(keys)), key=lambda i: (keys[i], i))
+    worst = 0
+    for sorted_pos, original_pos in enumerate(order):
+        displacement = abs(sorted_pos - original_pos)
+        if displacement > worst:
+            worst = displacement
+    return worst
+
+
+def count_inversions(keys: Sequence[int]) -> int:
+    """Number of pairs (i, j) with i < j and keys[i] > keys[j].
+
+    Merge-count implementation, O(N log N); duplicates do not count as
+    inversions.
+    """
+    arr = list(keys)
+    temp = [0] * len(arr)
+
+    def merge_count(lo: int, hi: int) -> int:
+        if hi - lo <= 1:
+            return 0
+        mid = (lo + hi) // 2
+        inv = merge_count(lo, mid) + merge_count(mid, hi)
+        i, j, k = lo, mid, lo
+        while i < mid and j < hi:
+            if arr[i] <= arr[j]:
+                temp[k] = arr[i]
+                i += 1
+            else:
+                temp[k] = arr[j]
+                inv += mid - i
+                j += 1
+            k += 1
+        while i < mid:
+            temp[k] = arr[i]
+            i += 1
+            k += 1
+        while j < hi:
+            temp[k] = arr[j]
+            j += 1
+            k += 1
+        arr[lo:hi] = temp[lo:hi]
+        return inv
+
+    return merge_count(0, len(arr))
+
+
+def count_runs(keys: Sequence[int]) -> int:
+    """Mannila's *Runs* measure: number of maximal non-decreasing runs.
+
+    A sorted sequence is one run; a reversed sequence of n distinct keys is
+    n runs. One of the classical presortedness measures the paper's §II
+    cites alongside (K,L).
+    """
+    if not keys:
+        return 0
+    runs = 1
+    for i in range(1, len(keys)):
+        if keys[i] < keys[i - 1]:
+            runs += 1
+    return runs
+
+
+def exchange_distance(keys: Sequence[int]) -> int:
+    """Mannila's *Exc* measure: minimum element exchanges to sort.
+
+    Equals n minus the number of cycles of the permutation mapping current
+    positions to (stable) sorted positions.
+    """
+    n = len(keys)
+    order = sorted(range(n), key=lambda i: (keys[i], i))
+    target = [0] * n
+    for sorted_pos, original_pos in enumerate(order):
+        target[original_pos] = sorted_pos
+    seen = [False] * n
+    cycles = 0
+    for start in range(n):
+        if seen[start]:
+            continue
+        cycles += 1
+        position = start
+        while not seen[position]:
+            seen[position] = True
+            position = target[position]
+    return n - cycles
+
+
+def normalized_inversions(keys: Sequence[int]) -> float:
+    """Inversions as a fraction of the maximum possible n(n-1)/2."""
+    n = len(keys)
+    if n < 2:
+        return 0.0
+    return count_inversions(keys) / (n * (n - 1) / 2)
+
+
+def measure_sortedness(keys: Sequence[int]) -> SortednessReport:
+    """Full sortedness report (K, L, inversions) for a key collection."""
+    return SortednessReport(
+        n=len(keys),
+        k=count_out_of_order(keys),
+        l=max_displacement(keys),
+        inversions=count_inversions(keys),
+    )
+
+
+class RunningSortednessEstimate:
+    """Cheap online (K,L) estimate, as maintained by the SWARE-buffer.
+
+    The buffer cannot afford exact K/L on every insert; it keeps the count of
+    appends that broke the running maximum (an upper-ish proxy for K) and the
+    largest distance between an out-of-order element's arrival position and
+    the position of the first element it undercuts (a proxy for L). These
+    estimates drive the sorting-algorithm choice at flush time (§IV-C).
+    """
+
+    __slots__ = ("n", "k_estimate", "l_estimate", "_prev_key", "_sorted_keys")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.k_estimate = 0
+        self.l_estimate = 0
+        self._prev_key: int | None = None
+        # Sample of keys seen, kept sorted to estimate displacement by rank.
+        self._sorted_keys: List[int] = []
+
+    def observe(self, key: int) -> None:
+        """Record the next arriving key.
+
+        A *descent* (key smaller than its predecessor) marks an out-of-order
+        element; counting descents rather than drops below the running max
+        keeps one early spike from branding everything after it as
+        out-of-order.
+        """
+        self.n += 1
+        descended = self._prev_key is not None and key < self._prev_key
+        self._prev_key = key
+        if descended:
+            self.k_estimate += 1
+            # The element belongs (roughly) at its rank in the keys seen so
+            # far; displacement is how far back that is from its arrival.
+            slot = bisect_right(self._sorted_keys, key)
+            displacement = len(self._sorted_keys) - slot
+            if displacement > self.l_estimate:
+                self.l_estimate = displacement
+        insort(self._sorted_keys, key)
+
+    def reset(self) -> None:
+        self.n = 0
+        self.k_estimate = 0
+        self.l_estimate = 0
+        self._prev_key = None
+        self._sorted_keys.clear()
+
+    @property
+    def k_fraction(self) -> float:
+        return self.k_estimate / self.n if self.n else 0.0
+
+    @property
+    def l_fraction(self) -> float:
+        return self.l_estimate / self.n if self.n else 0.0

@@ -1,0 +1,48 @@
+"""Simulated storage substrate: cost accounting, an LRU bufferpool, and the
+binary page format."""
+
+from repro.storage.bufferpool import BufferPool, Frame, PageIdAllocator
+from repro.storage.costmodel import (
+    DEFAULT_WEIGHTS,
+    NULL_METER,
+    CostModel,
+    Meter,
+    StopwatchResult,
+    stopwatch,
+)
+from repro.storage.pagefile import CheckpointStore, PageFile, PageFileError
+from repro.storage.pages import (
+    PageCorruptionError,
+    decode_internal,
+    decode_leaf,
+    decode_run,
+    deserialize_btree,
+    encode_internal,
+    encode_leaf,
+    encode_run,
+    serialize_btree,
+)
+
+__all__ = [
+    "BufferPool",
+    "Frame",
+    "PageIdAllocator",
+    "DEFAULT_WEIGHTS",
+    "NULL_METER",
+    "CostModel",
+    "Meter",
+    "StopwatchResult",
+    "stopwatch",
+    "CheckpointStore",
+    "PageFile",
+    "PageFileError",
+    "PageCorruptionError",
+    "decode_internal",
+    "decode_leaf",
+    "decode_run",
+    "deserialize_btree",
+    "encode_internal",
+    "encode_leaf",
+    "encode_run",
+    "serialize_btree",
+]

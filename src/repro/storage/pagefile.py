@@ -1,0 +1,226 @@
+"""A file-backed page store and index checkpointing.
+
+:class:`PageFile` manages a single file of fixed-size slots (4 KB by
+default, the paper's page size), with a free-list for reuse and CRC-checked
+page payloads (via :mod:`repro.storage.pages`). :class:`CheckpointStore`
+persists a whole B+-tree into a page file and restores it — the durability
+story a downstream user of this library needs, and a concrete consumer of
+the binary page format.
+
+The file layout is deliberately simple (this is a reproduction, not a
+transactional engine): data pages are written first, then a pickled
+directory (logical page id → slot chain, root id, tree config) is appended
+and found again by scanning from the end of the file. Torn-write atomicity
+is *not* guaranteed; the covered failure modes (payload corruption,
+truncation, missing pages, garbage files) are in the module tests.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import Dict, List
+
+from repro.errors import ReproError
+from repro.storage.pages import deserialize_btree, serialize_btree
+
+DEFAULT_SLOT_SIZE = 4096
+
+_SLOT_HEADER = struct.Struct("<I")  # payload length within the slot chain
+
+
+class PageFileError(ReproError):
+    """The page file is structurally unusable (bad directory, missing slots)."""
+
+
+class PageFile:
+    """Fixed-size-slot page storage over one OS file.
+
+    Payloads larger than a slot spill into a chain of continuation slots;
+    each stored page records its payload length so reads are exact.
+    """
+
+    def __init__(self, path: str, slot_size: int = DEFAULT_SLOT_SIZE):
+        if slot_size < 64:
+            raise ValueError("slot_size must be >= 64")
+        self.path = path
+        self.slot_size = slot_size
+        self._free: List[int] = []
+        self._n_slots = 0
+        self._chains: Dict[int, List[int]] = {}  # logical id -> slot chain
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, mode)
+
+    # -- slot primitives ---------------------------------------------------
+    def _allocate_slot(self) -> int:
+        if self._free:
+            return self._free.pop()
+        slot = self._n_slots
+        self._n_slots += 1
+        return slot
+
+    def _write_slot(self, slot: int, payload: bytes) -> None:
+        assert len(payload) <= self.slot_size
+        self._file.seek(slot * self.slot_size)
+        self._file.write(payload.ljust(self.slot_size, b"\x00"))
+
+    def _read_slot(self, slot: int) -> bytes:
+        self._file.seek(slot * self.slot_size)
+        data = self._file.read(self.slot_size)
+        if len(data) < self.slot_size:
+            raise PageFileError(f"slot {slot} truncated")
+        return data
+
+    # -- page API ---------------------------------------------------------
+    def write_page(self, page_id: int, payload: bytes) -> None:
+        """Store ``payload`` under logical ``page_id`` (replacing any old)."""
+        self.free_page(page_id)
+        body = _SLOT_HEADER.pack(len(payload)) + payload
+        usable = self.slot_size
+        chain: List[int] = []
+        for offset in range(0, len(body), usable):
+            chain.append(self._allocate_slot())
+        for index, slot in enumerate(chain):
+            self._write_slot(slot, body[index * usable : (index + 1) * usable])
+        self._chains[page_id] = chain
+
+    def read_page(self, page_id: int) -> bytes:
+        chain = self._chains.get(page_id)
+        if chain is None:
+            raise PageFileError(f"unknown page {page_id}")
+        body = b"".join(self._read_slot(slot) for slot in chain)
+        (length,) = _SLOT_HEADER.unpack_from(body)
+        payload = body[_SLOT_HEADER.size : _SLOT_HEADER.size + length]
+        if len(payload) != length:
+            raise PageFileError(f"page {page_id} payload truncated")
+        return payload
+
+    def free_page(self, page_id: int) -> None:
+        chain = self._chains.pop(page_id, None)
+        if chain:
+            self._free.extend(chain)
+
+    def page_ids(self) -> List[int]:
+        return sorted(self._chains)
+
+    @property
+    def n_slots(self) -> int:
+        return self._n_slots
+
+    # -- lifecycle ----------------------------------------------------------
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class CheckpointStore:
+    """Persist/restore whole indexes through a :class:`PageFile`.
+
+    The directory (logical-id → slot chain map, root id, config) is pickled
+    into reserved logical page ``-1``.
+    """
+
+    DIRECTORY_ID = -1
+
+    def __init__(self, path: str, slot_size: int = DEFAULT_SLOT_SIZE):
+        self.path = path
+        self.slot_size = slot_size
+
+    def save_btree(self, tree) -> int:
+        """Checkpoint ``tree``; returns the number of pages written."""
+        blob = serialize_btree(tree)
+        pagefile = PageFile(self.path, self.slot_size)
+        try:
+            for page_id, payload in blob["pages"].items():
+                pagefile.write_page(page_id, payload)
+            directory = {
+                "root": blob["root"],
+                "config": blob["config"],
+                "chains": pagefile._chains.copy(),
+            }
+            # The directory must not be listed in its own chain map.
+            directory["chains"].pop(self.DIRECTORY_ID, None)
+            pagefile.write_page(self.DIRECTORY_ID, pickle.dumps(directory))
+            pagefile.sync()
+            return len(blob["pages"])
+        finally:
+            pagefile.close()
+
+    def load_btree(self):
+        """Restore the checkpointed B+-tree."""
+        pagefile = PageFile(self.path, self.slot_size)
+        try:
+            # Bootstrap: the directory is the last page the save wrote, so
+            # it is discovered by scanning from the end; it carries the
+            # chain map for every data page.
+            directory = self._load_directory(pagefile)
+            chains = directory["chains"]
+            pagefile._chains = dict(chains)
+            pages = {page_id: pagefile.read_page(page_id) for page_id in chains}
+            blob = {
+                "root": directory["root"],
+                "config": directory["config"],
+                "pages": pages,
+            }
+            tree = deserialize_btree(blob)
+            tree.check_invariants()
+            return tree
+        finally:
+            pagefile.close()
+
+    def save_index(self, index) -> int:
+        """Checkpoint a :class:`~repro.core.sware.SortednessAwareIndex`.
+
+        The SWARE buffer is volatile by design (it mirrors recently arrived
+        data); checkpointing drains it into the tree first, then persists
+        the tree. Returns the number of pages written.
+        """
+        index.flush_all()
+        return self.save_btree(index.backend)
+
+    def load_index(self, config=None, meter=None):
+        """Restore a checkpoint as a fresh SA B+-tree (empty buffer)."""
+        from repro.core.sware import SortednessAwareIndex
+
+        tree = self.load_btree()
+        if meter is not None:
+            tree.meter = meter
+        return SortednessAwareIndex(tree, config=config, meter=meter)
+
+    def _load_directory(self, pagefile: PageFile) -> dict:
+        """Find the directory by scanning slots for a valid pickle tail.
+
+        The save path writes data pages first and the directory last, so
+        its chain occupies the highest slots; we scan from the end.
+        """
+        file_size = os.path.getsize(self.path)
+        n_slots = file_size // pagefile.slot_size
+        for start in range(n_slots - 1, -1, -1):
+            try:
+                body = b"".join(
+                    pagefile._read_slot(slot) for slot in range(start, n_slots)
+                )
+                (length,) = _SLOT_HEADER.unpack_from(body)
+                payload = body[_SLOT_HEADER.size : _SLOT_HEADER.size + length]
+                if len(payload) != length:
+                    continue
+                directory = pickle.loads(payload)
+                if (
+                    isinstance(directory, dict)
+                    and "chains" in directory
+                    and "root" in directory
+                ):
+                    return directory
+            except Exception:  # noqa: BLE001 - scanning for a valid pickle
+                continue
+        raise PageFileError("no valid checkpoint directory found")

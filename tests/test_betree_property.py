@@ -1,0 +1,79 @@
+"""Property-based tests: the Bε-tree against a dict model."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.betree.betree import BeTree, BeTreeConfig
+
+CONFIGS = [
+    BeTreeConfig(node_size=16, leaf_capacity=8),
+    BeTreeConfig(node_size=16, leaf_capacity=8, split_factor=0.8),
+    BeTreeConfig(node_size=32, leaf_capacity=6, epsilon=0.5),
+    BeTreeConfig(node_size=16, leaf_capacity=8, epsilon=0.75),
+]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get", "range"]),
+            st.integers(min_value=0, max_value=150),
+        ),
+        max_size=250,
+    ),
+    config_index=st.integers(min_value=0, max_value=len(CONFIGS) - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_random_ops_match_dict_model(ops, config_index):
+    tree = BeTree(CONFIGS[config_index])
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, key + 1000)
+            model[key] = key + 1000
+        elif op == "delete":
+            tree.delete(key)
+            model.pop(key, None)
+        elif op == "get":
+            assert tree.get(key) == model.get(key)
+        else:
+            lo, hi = key, key + 20
+            expected = sorted((k, v) for k, v in model.items() if lo <= k <= hi)
+            assert tree.range_query(lo, hi) == expected
+    tree.check_invariants()
+    assert dict(tree.iter_items()) == model
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50, deadline=None)
+def test_recency_of_overwrites(seed):
+    """Multiple writes to the same keys: the latest always wins, whether it
+    is pending in a buffer or applied to a leaf."""
+    rng = random.Random(seed)
+    tree = BeTree(BeTreeConfig(node_size=16, leaf_capacity=8))
+    model = {}
+    for version in range(4):
+        keys = list(range(60))
+        rng.shuffle(keys)
+        for key in keys[: rng.randint(10, 60)]:
+            tree.insert(key, (version, key))
+            model[key] = (version, key)
+    for key in range(60):
+        assert tree.get(key) == model.get(key)
+
+
+@given(
+    n_sorted=st.integers(min_value=0, max_value=200),
+    n_bulk=st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=50, deadline=None)
+def test_bulk_after_sorted_inserts(n_sorted, n_bulk):
+    tree = BeTree(BeTreeConfig(node_size=16, leaf_capacity=8))
+    for key in range(n_sorted):
+        tree.insert(key, key)
+    tree.bulk_load_append([(n_sorted + i, -i) for i in range(n_bulk)])
+    tree.check_invariants()
+    assert list(tree.iter_items()) == [(k, k) for k in range(n_sorted)] + [
+        (n_sorted + i, -i) for i in range(n_bulk)
+    ]

@@ -1,0 +1,358 @@
+"""Unit tests for the B+-tree substrate."""
+
+import pytest
+
+from repro.btree.btree import BPlusTree, BPlusTreeConfig
+from repro.errors import BulkLoadError, ConfigError
+from repro.storage.costmodel import Meter
+
+
+def small_tree(**overrides) -> BPlusTree:
+    config = BPlusTreeConfig(
+        leaf_capacity=overrides.pop("leaf_capacity", 4),
+        internal_capacity=overrides.pop("internal_capacity", 4),
+        **overrides,
+    )
+    return BPlusTree(config, meter=Meter())
+
+
+class TestConfig:
+    def test_rejects_tiny_capacities(self):
+        with pytest.raises(ConfigError):
+            BPlusTreeConfig(leaf_capacity=1)
+        with pytest.raises(ConfigError):
+            BPlusTreeConfig(internal_capacity=1)
+
+    def test_rejects_extreme_split_factor(self):
+        with pytest.raises(ConfigError):
+            BPlusTreeConfig(split_factor=0.05)
+        with pytest.raises(ConfigError):
+            BPlusTreeConfig(split_factor=0.95)
+
+    def test_rejects_bad_fill_factor(self):
+        with pytest.raises(ConfigError):
+            BPlusTreeConfig(bulk_fill_factor=1.5)
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree = small_tree()
+        assert tree.get(1) is None
+        assert len(tree) == 0
+        assert tree.max_key is None
+        assert tree.min_key is None
+        assert tree.range_query(0, 100) == []
+
+    def test_single_insert(self):
+        tree = small_tree()
+        assert tree.insert(5, "five") is True
+        assert tree.get(5) == "five"
+        assert tree.max_key == tree.min_key == 5
+
+    def test_upsert_overwrites(self):
+        tree = small_tree()
+        tree.insert(5, "a")
+        assert tree.insert(5, "b") is False
+        assert tree.get(5) == "b"
+        assert len(tree) == 1
+
+    def test_many_inserts_random_order(self):
+        tree = small_tree()
+        import random
+
+        keys = list(range(500))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 2)
+        tree.check_invariants()
+        assert len(tree) == 500
+        assert all(tree.get(key) == key * 2 for key in range(500))
+        assert tree.get(500) is None
+        assert tree.min_key == 0
+        assert tree.max_key == 499
+
+    def test_contains(self):
+        tree = small_tree()
+        tree.insert(1, "x")
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_height_grows(self):
+        tree = small_tree()
+        for key in range(100):
+            tree.insert(key, key)
+        assert tree.height >= 3
+        tree.check_invariants()
+
+    def test_iter_items_sorted(self):
+        tree = small_tree()
+        for key in (5, 1, 9, 3):
+            tree.insert(key, key)
+        assert list(tree.iter_items()) == [(1, 1), (3, 3), (5, 5), (9, 9)]
+
+
+class TestRangeQueries:
+    def make(self):
+        tree = small_tree()
+        for key in range(0, 100, 2):
+            tree.insert(key, key)
+        return tree
+
+    def test_inclusive_bounds(self):
+        tree = self.make()
+        assert tree.range_query(10, 14) == [(10, 10), (12, 12), (14, 14)]
+
+    def test_bounds_between_keys(self):
+        tree = self.make()
+        assert tree.range_query(9, 15) == [(10, 10), (12, 12), (14, 14)]
+
+    def test_empty_range(self):
+        tree = self.make()
+        assert tree.range_query(11, 11) == []
+        assert tree.range_query(50, 40) == []
+
+    def test_full_range(self):
+        tree = self.make()
+        assert len(tree.range_query(-100, 1000)) == 50
+
+    def test_crosses_leaves(self):
+        tree = self.make()
+        result = tree.range_query(0, 98)
+        assert [key for key, _ in result] == list(range(0, 100, 2))
+
+
+class TestDeletes:
+    def test_delete_present(self):
+        tree = small_tree()
+        tree.insert(1, "a")
+        assert tree.delete(1) is True
+        assert tree.get(1) is None
+        assert len(tree) == 0
+
+    def test_delete_absent(self):
+        tree = small_tree()
+        tree.insert(1, "a")
+        assert tree.delete(2) is False
+        assert len(tree) == 1
+
+    def test_minmax_are_watermarks_after_delete(self):
+        """Deletes must not shrink the bounds: a later bulk load keyed off
+        max_key would otherwise append left of the right-most separator."""
+        tree = small_tree()
+        for key in (1, 5, 9):
+            tree.insert(key, key)
+        tree.delete(9)
+        assert tree.max_key == 9
+        tree.delete(1)
+        assert tree.min_key == 1
+        # The watermark keeps bulk loading safe.
+        import pytest as _pytest
+
+        from repro.errors import BulkLoadError
+
+        with _pytest.raises(BulkLoadError):
+            tree.bulk_load_append([(7, 7)])
+        tree.bulk_load_append([(10, 10)])
+        tree.check_invariants()
+
+    def test_delete_max_then_bulk_regression(self):
+        """Regression for the stateful-machine finding: delete the max,
+        insert a key just below it, bulk load — routing must hold."""
+        tree = small_tree(leaf_capacity=4, internal_capacity=4)
+        tree.insert(5, 5)
+        for key in range(4):
+            tree.insert(key, key)
+        tree.delete(5)
+        tree.insert(4, 4)
+        tree.check_invariants()
+        tree.bulk_load_append([(10, 10), (11, 11)])
+        tree.check_invariants()
+        assert tree.get(4) == 4
+        assert tree.get(10) == 10
+
+    def test_delete_everything_then_reinsert(self):
+        tree = small_tree()
+        for key in range(100):
+            tree.insert(key, key)
+        for key in range(100):
+            assert tree.delete(key)
+        assert len(tree) == 0
+        tree.check_invariants()
+        for key in range(50):
+            tree.insert(key, key + 1)
+        tree.check_invariants()
+        assert all(tree.get(key) == key + 1 for key in range(50))
+
+    def test_range_skips_deleted(self):
+        tree = small_tree()
+        for key in range(20):
+            tree.insert(key, key)
+        for key in range(0, 20, 2):
+            tree.delete(key)
+        assert tree.range_query(0, 19) == [(k, k) for k in range(1, 20, 2)]
+
+
+class TestSplitFactor:
+    def test_ascending_fill_factor_improves_with_split_factor(self):
+        """The §III claim: right-leaning splits raise average leaf fill for
+        sorted ingestion."""
+        fills = {}
+        for factor in (0.5, 0.8):
+            tree = small_tree(leaf_capacity=8, internal_capacity=8, split_factor=factor)
+            for key in range(1000):
+                tree.insert(key, key)
+            tree.check_invariants()
+            fills[factor] = tree.space_stats()["avg_leaf_fill"]
+        assert fills[0.8] > fills[0.5]
+
+    def test_ascending_splits_decrease_with_split_factor(self):
+        splits = {}
+        for factor in (0.5, 0.8):
+            tree = small_tree(leaf_capacity=8, internal_capacity=8, split_factor=factor)
+            for key in range(1000):
+                tree.insert(key, key)
+            splits[factor] = tree.leaf_splits
+        assert splits[0.8] < splits[0.5]
+
+
+class TestTailLeafFastPath:
+    def test_fastpath_counts(self):
+        tree = small_tree(tail_leaf_optimization=True)
+        for key in range(100):
+            tree.insert(key, key)
+        # All but the very first insert land via the tail-leaf pointer.
+        assert tree.fastpath_inserts >= 90
+        tree.check_invariants()
+
+    def test_fastpath_disabled_by_default(self):
+        tree = small_tree()
+        for key in range(100):
+            tree.insert(key, key)
+        assert tree.fastpath_inserts == 0
+
+    def test_fastpath_equivalent_results(self):
+        import random
+
+        keys = list(range(400))
+        random.Random(1).shuffle(keys)
+        with_fp = small_tree(tail_leaf_optimization=True)
+        without = small_tree(tail_leaf_optimization=False)
+        for key in keys:
+            with_fp.insert(key, key)
+            without.insert(key, key)
+        assert list(with_fp.iter_items()) == list(without.iter_items())
+        with_fp.check_invariants()
+
+    def test_fastpath_cheaper_for_sorted(self):
+        meter_fp = Meter()
+        meter_plain = Meter()
+        fp = BPlusTree(
+            BPlusTreeConfig(leaf_capacity=8, internal_capacity=8, tail_leaf_optimization=True),
+            meter=meter_fp,
+        )
+        plain = BPlusTree(
+            BPlusTreeConfig(leaf_capacity=8, internal_capacity=8),
+            meter=meter_plain,
+        )
+        for key in range(2000):
+            fp.insert(key, key)
+            plain.insert(key, key)
+        assert meter_fp["node_access"] < meter_plain["node_access"] / 2
+
+
+class TestBulkLoad:
+    def test_bulk_into_empty(self):
+        tree = small_tree()
+        tree.bulk_load_append([(k, k) for k in range(100)])
+        tree.check_invariants()
+        assert len(tree) == 100
+        assert all(tree.get(k) == k for k in range(100))
+
+    def test_bulk_appends_after_inserts(self):
+        tree = small_tree()
+        for key in range(50):
+            tree.insert(key, key)
+        tree.bulk_load_append([(k, k) for k in range(50, 150)])
+        tree.check_invariants()
+        assert len(tree) == 150
+        assert all(tree.get(k) == k for k in range(150))
+
+    def test_bulk_rejects_overlap(self):
+        tree = small_tree()
+        tree.insert(100, 100)
+        with pytest.raises(BulkLoadError):
+            tree.bulk_load_append([(100, 0), (101, 0)])
+
+    def test_bulk_rejects_unsorted_batch(self):
+        tree = small_tree()
+        with pytest.raises(BulkLoadError):
+            tree.bulk_load_append([(2, 0), (1, 0)])
+
+    def test_bulk_rejects_duplicate_in_batch(self):
+        tree = small_tree()
+        with pytest.raises(BulkLoadError):
+            tree.bulk_load_append([(1, 0), (1, 0)])
+
+    def test_bulk_empty_batch_noop(self):
+        tree = small_tree()
+        tree.bulk_load_append([])
+        assert len(tree) == 0
+
+    def test_alternating_bulk_and_inserts(self):
+        tree = small_tree()
+        expected = {}
+        next_key = 0
+        for round_index in range(20):
+            batch = [(next_key + i, round_index) for i in range(13)]
+            tree.bulk_load_append(batch)
+            expected.update(dict(batch))
+            next_key += 13
+            # Insert a few overlapping keys through the root.
+            for key in range(max(0, next_key - 30), next_key - 20):
+                tree.insert(key, -round_index)
+                expected[key] = -round_index
+        tree.check_invariants()
+        assert dict(tree.iter_items()) == expected
+
+    def test_bulk_fill_factor_respected(self):
+        tree = small_tree(leaf_capacity=10, bulk_fill_factor=0.5)
+        tree.bulk_load_append([(k, k) for k in range(100)])
+        stats = tree.space_stats()
+        # Leaves filled to ~50%, never above.
+        assert stats["avg_leaf_fill"] <= 0.55
+        tree.check_invariants()
+
+    def test_bulk_cheaper_than_inserts(self):
+        meter_bulk = Meter()
+        bulk_tree = BPlusTree(BPlusTreeConfig(leaf_capacity=8, internal_capacity=8), meter=meter_bulk)
+        bulk_tree.bulk_load_append([(k, k) for k in range(1000)])
+        meter_ins = Meter()
+        ins_tree = BPlusTree(BPlusTreeConfig(leaf_capacity=8, internal_capacity=8), meter=meter_ins)
+        for key in range(1000):
+            ins_tree.insert(key, key)
+        from repro.storage.costmodel import CostModel
+
+        model = CostModel()
+        assert meter_bulk.nanos(model) < meter_ins.nanos(model) / 3
+
+
+class TestSpaceStats:
+    def test_counts_consistent(self):
+        tree = small_tree()
+        for key in range(200):
+            tree.insert(key, key)
+        stats = tree.space_stats()
+        assert stats["entries"] == 200
+        assert stats["leaf_count"] * 4 == stats["leaf_slots"]
+        assert 0 < stats["avg_leaf_fill"] <= 1.0
+
+
+class TestMeterAccounting:
+    def test_node_access_charged_on_get(self):
+        meter = Meter()
+        tree = BPlusTree(BPlusTreeConfig(leaf_capacity=4, internal_capacity=4), meter=meter)
+        for key in range(100):
+            tree.insert(key, key)
+        before = meter["node_access"]
+        tree.get(50)
+        assert meter["node_access"] - before == tree.height

@@ -1,0 +1,111 @@
+"""Property-based tests: the B+-tree against a dict/sorted-list model."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.btree.btree import BPlusTree, BPlusTreeConfig
+
+CONFIGS = [
+    BPlusTreeConfig(leaf_capacity=4, internal_capacity=4),
+    BPlusTreeConfig(leaf_capacity=4, internal_capacity=4, split_factor=0.8),
+    BPlusTreeConfig(leaf_capacity=8, internal_capacity=5, tail_leaf_optimization=True),
+    BPlusTreeConfig(leaf_capacity=5, internal_capacity=8, split_factor=0.7),
+]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get", "range"]),
+            st.integers(min_value=0, max_value=200),
+        ),
+        max_size=300,
+    ),
+    config_index=st.integers(min_value=0, max_value=len(CONFIGS) - 1),
+)
+@settings(max_examples=120, deadline=None)
+def test_random_ops_match_dict_model(ops, config_index):
+    tree = BPlusTree(CONFIGS[config_index])
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, key * 3)
+            model[key] = key * 3
+        elif op == "delete":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        elif op == "get":
+            assert tree.get(key) == model.get(key)
+        else:
+            lo, hi = key, key + 25
+            expected = sorted((k, v) for k, v in model.items() if lo <= k <= hi)
+            assert tree.range_query(lo, hi) == expected
+    tree.check_invariants()
+    assert dict(tree.iter_items()) == model
+
+
+@given(
+    n_bulk_rounds=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_bulk_load_interleaved_with_topinserts(n_bulk_rounds, seed):
+    """Metamorphic: any interleaving of append-only bulk loads and
+    overlapping top-inserts equals the dict of the same operations."""
+    rng = random.Random(seed)
+    tree = BPlusTree(BPlusTreeConfig(leaf_capacity=4, internal_capacity=4))
+    model = {}
+    next_key = 0
+    for _ in range(n_bulk_rounds):
+        size = rng.randint(1, 40)
+        batch = [(next_key + i, rng.randint(0, 9)) for i in range(size)]
+        next_key += size
+        tree.bulk_load_append(batch)
+        model.update(dict(batch))
+        for _ in range(rng.randint(0, 15)):
+            key = rng.randint(0, max(next_key - 1, 0))
+            value = rng.randint(100, 200)
+            tree.insert(key, value)
+            model[key] = value
+    tree.check_invariants()
+    assert dict(tree.iter_items()) == model
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful fuzzing with invariant checks after every rule."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(
+            BPlusTreeConfig(leaf_capacity=4, internal_capacity=4, split_factor=0.8,
+                            tail_leaf_optimization=True)
+        )
+        self.model = {}
+
+    @rule(key=st.integers(min_value=0, max_value=100))
+    def insert(self, key):
+        self.tree.insert(key, key)
+        self.model[key] = key
+
+    @rule(key=st.integers(min_value=0, max_value=100))
+    def delete(self, key):
+        assert self.tree.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=st.integers(min_value=-10, max_value=110))
+    def get(self, key):
+        assert self.tree.get(key) == self.model.get(key)
+
+    @invariant()
+    def structure_holds(self):
+        self.tree.check_invariants()
+
+    @invariant()
+    def contents_match(self):
+        assert dict(self.tree.iter_items()) == self.model
+
+
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(max_examples=25, deadline=None, stateful_step_count=40)

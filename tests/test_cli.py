@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestGenerate:
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--n", "50", "--k", "0.1", "--l", "0.1"]) == 0
+        lines = capsys.readouterr().out.split()
+        assert len(lines) == 50
+        assert sorted(int(x) for x in lines) == list(range(50))
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "keys.txt"
+        assert main(["generate", "--n", "20", "--out", str(out)]) == 0
+        assert len(out.read_text().split()) == 20
+
+    def test_generate_scrambled(self, capsys):
+        assert main(["generate", "--n", "100", "--scrambled", "--seed", "3"]) == 0
+        keys = [int(x) for x in capsys.readouterr().out.split()]
+        assert keys != sorted(keys)
+
+    def test_generate_deterministic(self, capsys):
+        main(["generate", "--n", "30", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["generate", "--n", "30", "--seed", "5"])
+        assert capsys.readouterr().out == first
+
+
+class TestMeasure:
+    def test_measure_file(self, tmp_path, capsys):
+        path = tmp_path / "keys.txt"
+        path.write_text("1\n3\n2\n4\n")
+        assert main(["measure", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "K " in out or "K" in out
+        assert "degree" in out
+
+    def test_measure_sorted(self, tmp_path, capsys):
+        path = tmp_path / "keys.txt"
+        path.write_text("\n".join(str(i) for i in range(100)))
+        main(["measure", str(path)])
+        assert "sorted" in capsys.readouterr().out
+
+    def test_measure_stdin(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("5 1 4 2 3"))
+        assert main(["measure"]) == 0
+        assert "degree" in capsys.readouterr().out
+
+    def test_measure_empty_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert main(["measure", str(path)]) == 1
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "bulk-loaded" in out
+
+    def test_demo_sorted_wins(self, capsys):
+        main(["demo", "--n", "3000", "--k", "0.0", "--l", "0.0", "--read-fraction", "0.1"])
+        out = capsys.readouterr().out
+        speedup_line = next(line for line in out.splitlines() if "speedup" in line)
+        value = float(speedup_line.split(":")[1].strip().rstrip("x"))
+        assert value > 1.5
+
+
+class TestExperiment:
+    def test_experiment_fig09(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        assert main(["experiment", "fig09", "--n", "300"]) == 0
+        assert "Fig. 9" in capsys.readouterr().out
+
+    def test_experiment_space(self, capsys):
+        assert main(["experiment", "space", "--n", "2000"]) == 0
+        assert "Space" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_all_experiment_names_importable(self):
+        import importlib
+
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.bench.experiments.{name}")
+            assert hasattr(module, "run")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

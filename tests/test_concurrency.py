@@ -1,0 +1,156 @@
+"""Tests for the §IV-D concurrency-control protocol simulation."""
+
+import pytest
+
+from repro.core.concurrency import (
+    BUFFER,
+    EXCLUSIVE,
+    SHARED,
+    LockConflict,
+    LockManager,
+    SWARELockProtocol,
+)
+from repro.errors import ReproError
+
+
+class TestLockManager:
+    def test_shared_locks_coexist(self):
+        lm = LockManager()
+        lm.acquire("a", "r", SHARED)
+        lm.acquire("b", "r", SHARED)
+        assert lm.holders("r") == {"a", "b"}
+
+    def test_exclusive_excludes(self):
+        lm = LockManager()
+        lm.acquire("a", "r", EXCLUSIVE)
+        with pytest.raises(LockConflict):
+            lm.acquire("b", "r", SHARED)
+        with pytest.raises(LockConflict):
+            lm.acquire("b", "r", EXCLUSIVE)
+
+    def test_shared_blocks_exclusive_from_other(self):
+        lm = LockManager()
+        lm.acquire("a", "r", SHARED)
+        with pytest.raises(LockConflict):
+            lm.acquire("b", "r", EXCLUSIVE)
+
+    def test_sole_holder_upgrades(self):
+        lm = LockManager()
+        lm.acquire("a", "r", SHARED)
+        lm.acquire("a", "r", EXCLUSIVE)
+        assert lm.mode("r") == EXCLUSIVE
+
+    def test_upgrade_with_other_readers_conflicts(self):
+        lm = LockManager()
+        lm.acquire("a", "r", SHARED)
+        lm.acquire("b", "r", SHARED)
+        with pytest.raises(LockConflict):
+            lm.acquire("a", "r", EXCLUSIVE)
+
+    def test_release_frees(self):
+        lm = LockManager()
+        lm.acquire("a", "r", EXCLUSIVE)
+        lm.release("a", "r")
+        lm.acquire("b", "r", EXCLUSIVE)
+
+    def test_release_unheld_raises(self):
+        lm = LockManager()
+        with pytest.raises(ReproError):
+            lm.release("a", "r")
+
+    def test_release_all(self):
+        lm = LockManager()
+        lm.acquire("a", "r1", SHARED)
+        lm.acquire("a", "r2", EXCLUSIVE)
+        lm.release_all("a")
+        assert lm.mode("r1") is None
+        assert lm.mode("r2") is None
+
+    def test_trace_recorded(self):
+        lm = LockManager()
+        lm.acquire("a", "r", SHARED)
+        lm.release("a", "r")
+        assert [event for event, *_ in lm.trace] == ["acquire", "release"]
+
+
+class TestProtocol:
+    def test_append_path_releases_buffer_lock(self):
+        protocol = SWARELockProtocol(n_pages=4)
+        assert protocol.begin_insert("w1", triggers_flush=False, page=0) == "append"
+        # The buffer-wide lock is free again; another worker can append too.
+        assert protocol.begin_insert("w2", triggers_flush=False, page=1) == "append"
+        protocol.check_invariants()
+        protocol.finish_append("w1", 0)
+        protocol.finish_append("w2", 1)
+
+    def test_same_page_appends_conflict(self):
+        protocol = SWARELockProtocol(n_pages=4)
+        protocol.begin_insert("w1", triggers_flush=False, page=2)
+        with pytest.raises(LockConflict):
+            protocol.begin_insert("w2", triggers_flush=False, page=2)
+
+    def test_flush_blocks_everything(self):
+        protocol = SWARELockProtocol(n_pages=4)
+        assert protocol.begin_insert("w1", triggers_flush=True, page=0) == "flush"
+        with pytest.raises(LockConflict):
+            protocol.begin_insert("w2", triggers_flush=False, page=1)
+        with pytest.raises(LockConflict):
+            protocol.begin_query("reader")
+        protocol.check_invariants()
+        protocol.finish_flush("w1")
+        protocol.begin_query("reader")  # now fine
+
+    def test_queries_share(self):
+        protocol = SWARELockProtocol(n_pages=2)
+        protocol.begin_query("q1")
+        protocol.begin_query("q2")
+        protocol.finish_query("q1")
+        protocol.finish_query("q2")
+
+    def test_query_blocks_flush_check(self):
+        """An insert's instantaneous flush check needs the buffer lock, so
+        it must wait for active readers."""
+        protocol = SWARELockProtocol(n_pages=2)
+        protocol.begin_query("q1")
+        with pytest.raises(LockConflict):
+            protocol.begin_insert("w1", triggers_flush=False, page=0)
+
+    def test_query_sort_upgrade_requires_sole_reader(self):
+        protocol = SWARELockProtocol(n_pages=2)
+        protocol.begin_query("q1")
+        protocol.begin_query("q2")
+        with pytest.raises(LockConflict):
+            protocol.upgrade_for_query_sort("q1")
+        protocol.finish_query("q2")
+        protocol.upgrade_for_query_sort("q1")  # sole reader upgrades
+        protocol.finish_query("q1")
+
+    def test_upgrade_requires_active_query(self):
+        protocol = SWARELockProtocol(n_pages=2)
+        with pytest.raises(ReproError):
+            protocol.upgrade_for_query_sort("nobody")
+
+    def test_page_bounds(self):
+        protocol = SWARELockProtocol(n_pages=2)
+        with pytest.raises(ValueError):
+            protocol.begin_insert("w", triggers_flush=False, page=5)
+
+    def test_rejects_zero_pages(self):
+        with pytest.raises(ValueError):
+            SWARELockProtocol(n_pages=0)
+
+    def test_full_schedule(self):
+        """A representative interleaving runs clean end to end."""
+        protocol = SWARELockProtocol(n_pages=4)
+        protocol.begin_insert("w1", triggers_flush=False, page=0)
+        protocol.check_invariants()
+        protocol.finish_append("w1", 0)
+        protocol.begin_query("q1")
+        protocol.finish_query("q1")
+        protocol.begin_insert("w1", triggers_flush=True, page=0)
+        protocol.check_invariants()
+        protocol.finish_flush("w1")
+        protocol.begin_query("q1")
+        protocol.upgrade_for_query_sort("q1")
+        protocol.check_invariants()
+        protocol.finish_query("q1")

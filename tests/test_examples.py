@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs to completion on a reduced size.
+
+The examples are real scripts (no test hooks), so we exec them with a
+patched ``main``-level size where needed by monkeypatching argv and letting
+them run at their built-in sizes — they are already laptop-scale.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 40  # every example reports something
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

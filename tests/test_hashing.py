@@ -1,0 +1,112 @@
+"""Tests for repro.filters.hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.filters.hashing import (
+    SharedHash,
+    murmur3_32,
+    murmur3_64,
+    rotate64,
+    splitmix64,
+)
+
+
+class TestMurmur3ReferenceVectors:
+    """Known-answer tests against the reference murmur3 x86-32."""
+
+    @pytest.mark.parametrize(
+        "data,seed,expected",
+        [
+            (b"", 0, 0x00000000),
+            (b"", 1, 0x514E28B7),
+            (b"", 0xFFFFFFFF, 0x81F16F39),
+            (b"hello", 0, 0x248BFA47),
+            (b"hello, world", 0, 0x149BBB7F),
+            (b"The quick brown fox jumps over the lazy dog", 0x9747B28C, 0x2FA826CD),
+            (b"\xff\xff\xff\xff", 0, 0x76293B50),
+            (b"\x21\x43\x65\x87", 0, 0xF55B516B),
+            (b"\x21\x43\x65\x87", 0x5082EDEE, 0x2362F9DE),
+            (b"\x21\x43\x65", 0, 0x7E4A8634),
+            (b"\x21\x43", 0, 0xA0F7B07A),
+            (b"\x21", 0, 0x72661CF4),
+        ],
+    )
+    def test_reference_vector(self, data, seed, expected):
+        assert murmur3_32(data, seed) == expected
+
+
+class TestMurmur64AndSplitmix:
+    def test_murmur3_64_is_deterministic(self):
+        assert murmur3_64(42) == murmur3_64(42)
+
+    def test_murmur3_64_seed_changes_output(self):
+        assert murmur3_64(42, seed=1) != murmur3_64(42, seed=2)
+
+    def test_splitmix_is_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    @given(st.integers(min_value=0, max_value=2**63))
+    def test_splitmix_fits_64_bits(self, key):
+        assert 0 <= splitmix64(key) < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**63))
+    def test_murmur64_fits_64_bits(self, key):
+        assert 0 <= murmur3_64(key) < 2**64
+
+    def test_splitmix_avalanche(self):
+        # Neighbouring keys should differ in roughly half the bits.
+        diff = bin(splitmix64(1000) ^ splitmix64(1001)).count("1")
+        assert 16 <= diff <= 48
+
+
+class TestRotate64:
+    def test_zero_rotation_is_identity(self):
+        assert rotate64(0x123456789ABCDEF0, 0) == 0x123456789ABCDEF0
+
+    def test_full_rotation_is_identity(self):
+        assert rotate64(0x123456789ABCDEF0, 64) == 0x123456789ABCDEF0
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(0, 63))
+    def test_rotation_is_invertible(self, value, bits):
+        assert rotate64(rotate64(value, bits), 64 - bits) == value
+
+    def test_rotation_moves_bits(self):
+        assert rotate64(1, 1) == 2
+        assert rotate64(1 << 63, 1) == 1
+
+
+class TestSharedHash:
+    def test_probe_count_and_range(self):
+        shared = SharedHash(12345)
+        probes = shared.probes(7, 1024)
+        assert len(probes) == 7
+        assert all(0 <= p < 1024 for p in probes)
+
+    def test_probes_deterministic_per_key(self):
+        assert SharedHash(9).probes(5, 100) == SharedHash(9).probes(5, 100)
+
+    def test_different_keys_differ(self):
+        assert SharedHash(1).probes(5, 10_000) != SharedHash(2).probes(5, 10_000)
+
+    def test_rotated_stream_differs(self):
+        shared = SharedHash(777)
+        assert shared.probes(5, 10_000) != shared.rotated(17).probes(5, 10_000)
+
+    def test_rotated_is_deterministic(self):
+        a = SharedHash(777).rotated(17).probes(5, 512)
+        b = SharedHash(777).rotated(17).probes(5, 512)
+        assert a == b
+
+    def test_murmur_family(self):
+        shared = SharedHash(123, family="murmur3")
+        assert len(shared.probes(3, 64)) == 3
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            SharedHash(1, family="fnv")
+
+    def test_h2_is_odd(self):
+        # Odd step guarantees all slots reachable for power-of-two sizes.
+        for key in range(50):
+            assert SharedHash(key).h2 % 2 == 1

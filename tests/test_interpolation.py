@@ -1,0 +1,117 @@
+"""Tests for repro.search.interpolation."""
+
+from bisect import bisect_right
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.search.interpolation import (
+    binary_search_rightmost,
+    exponential_search_rightmost,
+    interpolation_search,
+    lower_bound,
+    upper_bound,
+)
+
+SEARCHERS = [
+    binary_search_rightmost,
+    interpolation_search,
+    exponential_search_rightmost,
+]
+
+
+def rightmost_index(keys, target):
+    """Reference: index of the rightmost occurrence, or -1."""
+    idx = bisect_right(keys, target) - 1
+    return idx if idx >= 0 and keys[idx] == target else -1
+
+
+@pytest.mark.parametrize("search", SEARCHERS)
+class TestAgainstReference:
+    def test_empty(self, search):
+        assert search([], 5) == -1
+
+    def test_single_hit(self, search):
+        assert search([5], 5) == 0
+
+    def test_single_miss(self, search):
+        assert search([5], 4) == -1
+        assert search([5], 6) == -1
+
+    def test_duplicates_rightmost(self, search):
+        keys = [1, 2, 2, 2, 3]
+        assert search(keys, 2) == 3
+
+    def test_all_equal(self, search):
+        assert search([7] * 10, 7) == 9
+        assert search([7] * 10, 6) == -1
+
+    def test_sub_range(self, search):
+        keys = [0, 10, 20, 30, 40, 50]
+        assert search(keys, 10, lo=2, hi=5) == -1
+        assert search(keys, 30, lo=2, hi=5) == 3
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), max_size=200),
+        st.integers(min_value=-1100, max_value=1100),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_bisect(self, search, keys, target):
+        keys = sorted(keys)
+        assert search(keys, target) == rightmost_index(keys, target)
+
+
+class TestInterpolationSpecifics:
+    def test_uniform_keys_converge_fast(self):
+        keys = list(range(0, 100_000, 7))
+        steps = []
+        interpolation_search(keys, keys[5000], steps=steps)
+        assert steps[0] <= 8  # log log n territory
+
+    def test_skewed_distribution_still_correct(self):
+        # Exponential skew defeats interpolation's assumption; the binary
+        # fallback must still find the rightmost occurrence.
+        keys = sorted([2**i for i in range(60)] * 2)
+        for target in (1, 2**30, 2**59):
+            assert keys[interpolation_search(keys, target)] == target
+
+    def test_out_of_range_early_exit(self):
+        keys = [10, 20, 30]
+        steps = []
+        assert interpolation_search(keys, 5, steps=steps) == -1
+        assert steps[0] == 0
+
+    def test_steps_reported(self):
+        steps = []
+        interpolation_search(list(range(100)), 42, steps=steps)
+        assert len(steps) == 1
+        assert steps[0] >= 1
+
+
+class TestExponentialSearch:
+    def test_near_front_is_cheap(self):
+        keys = list(range(100_000))
+        steps = []
+        assert exponential_search_rightmost(keys, 3, steps=steps) == 3
+        assert steps[0] <= 3  # galloping doubled only a couple of times
+
+
+class TestBounds:
+    def test_lower_upper_bound(self):
+        keys = [1, 2, 2, 4]
+        assert lower_bound(keys, 2) == 1
+        assert upper_bound(keys, 2) == 3
+        assert lower_bound(keys, 3) == upper_bound(keys, 3) == 3
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), max_size=50),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_bracket_all_occurrences(self, keys, target):
+        keys = sorted(keys)
+        lo = lower_bound(keys, target)
+        hi = upper_bound(keys, target)
+        assert all(key == target for key in keys[lo:hi])
+        assert target not in keys[:lo]
+        assert target not in keys[hi:]

@@ -1,0 +1,98 @@
+"""Tests for the (K,L)-adaptive sorting algorithm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KLSortCapacityError
+from repro.sortedness.generator import generate_kl_keys
+from repro.sortedness.klsort import KLSortStats, kl_sort, kl_sort_or_fallback
+
+
+class TestCorrectness:
+    def test_empty(self):
+        assert kl_sort([]) == []
+
+    def test_already_sorted(self):
+        data = list(range(100))
+        stats = KLSortStats()
+        assert kl_sort(data, stats=stats) == data
+        assert stats.outliers == 0
+
+    def test_reverse_sorted(self):
+        data = list(range(100, 0, -1))
+        assert kl_sort(data) == sorted(data)
+
+    def test_single_spike_backtrack(self):
+        # One huge early element must not poison the spine.
+        data = [1000] + list(range(50))
+        stats = KLSortStats()
+        assert kl_sort(data, stats=stats) == sorted(data)
+        assert stats.outliers == 1
+        assert stats.backtracks == 1
+
+    def test_near_sorted_has_few_outliers(self):
+        data = generate_kl_keys(5000, 0.05, 0.02, seed=3)
+        stats = KLSortStats()
+        assert kl_sort(data, stats=stats) == sorted(data)
+        # O(K)-ish outliers for a (K,L)-near sorted input.
+        assert stats.outliers <= int(0.15 * len(data))
+
+    @given(st.lists(st.integers(min_value=-10_000, max_value=10_000), max_size=400))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_sorted(self, data):
+        assert kl_sort(data) == sorted(data)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_stability_for_duplicates(self, data):
+        tagged = [(value, position) for position, value in enumerate(data)]
+        result = kl_sort(tagged, key=lambda pair: pair[0])
+        assert result == sorted(tagged, key=lambda pair: pair[0])
+        # sorted() is stable, so matching it proves our stability too.
+
+
+class TestKeyExtraction:
+    def test_key_function(self):
+        data = [{"k": 3}, {"k": 1}, {"k": 2}]
+        result = kl_sort(data, key=lambda d: d["k"])
+        assert [d["k"] for d in result] == [1, 2, 3]
+
+
+class TestCapacityBound:
+    def test_capacity_exceeded_raises(self):
+        scrambled = list(range(500, 0, -1))
+        with pytest.raises(KLSortCapacityError):
+            kl_sort(scrambled, capacity=10)
+
+    def test_capacity_sufficient_succeeds(self):
+        data = generate_kl_keys(1000, 0.02, 0.01, seed=1)
+        assert kl_sort(data, capacity=200) == sorted(data)
+
+    def test_fallback_on_overflow(self):
+        scrambled = list(range(500, 0, -1))
+        result, algorithm = kl_sort_or_fallback(scrambled, capacity=10)
+        assert algorithm == "stable"
+        assert result == sorted(scrambled)
+
+    def test_fallback_not_taken_when_fits(self):
+        data = generate_kl_keys(1000, 0.02, 0.01, seed=1)
+        result, algorithm = kl_sort_or_fallback(data, capacity=400)
+        assert algorithm == "kl"
+        assert result == sorted(data)
+
+    def test_fallback_preserves_key_function(self):
+        data = [(v,) for v in range(50, 0, -1)]
+        result, algorithm = kl_sort_or_fallback(data, key=lambda t: t[0], capacity=2)
+        assert algorithm == "stable"
+        assert result == sorted(data)
+
+
+class TestComplexityCharacter:
+    def test_work_scales_with_disorder_not_n(self):
+        """For fixed disorder, outliers stay O(K) as N grows."""
+        small = KLSortStats()
+        large = KLSortStats()
+        kl_sort(generate_kl_keys(2000, 0.05, 0.02, seed=5), stats=small)
+        kl_sort(generate_kl_keys(8000, 0.05, 0.02, seed=5), stats=large)
+        # Outlier *fraction* should not blow up with N.
+        assert large.outliers / 8000 < (small.outliers / 2000) * 2 + 0.05

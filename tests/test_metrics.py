@@ -1,0 +1,195 @@
+"""Tests for the (K,L)-sortedness metrics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sortedness.metrics import (
+    RunningSortednessEstimate,
+    count_inversions,
+    count_out_of_order,
+    count_runs,
+    exchange_distance,
+    longest_nondecreasing_subsequence_length,
+    max_displacement,
+    measure_sortedness,
+    normalized_inversions,
+)
+
+
+class TestLNDS:
+    def test_empty(self):
+        assert longest_nondecreasing_subsequence_length([]) == 0
+
+    def test_sorted(self):
+        assert longest_nondecreasing_subsequence_length([1, 2, 3]) == 3
+
+    def test_with_duplicates(self):
+        # Non-decreasing: duplicates extend the subsequence.
+        assert longest_nondecreasing_subsequence_length([1, 1, 1]) == 3
+
+    def test_reverse(self):
+        assert longest_nondecreasing_subsequence_length([3, 2, 1]) == 1
+
+    def test_classic(self):
+        assert longest_nondecreasing_subsequence_length([3, 1, 2, 5, 4]) == 3
+
+
+class TestK:
+    def test_sorted_is_zero(self):
+        assert count_out_of_order(list(range(50))) == 0
+
+    def test_one_swap_displaces_two(self):
+        keys = list(range(10))
+        keys[2], keys[7] = keys[7], keys[2]
+        assert count_out_of_order(keys) == 2
+
+    def test_reverse(self):
+        assert count_out_of_order([5, 4, 3, 2, 1]) == 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_k_bounds(self, keys):
+        k = count_out_of_order(keys)
+        assert 0 <= k <= max(0, len(keys) - 1)
+
+    @given(st.lists(st.integers(), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_k_zero_iff_sorted(self, keys):
+        is_sorted = all(a <= b for a, b in zip(keys, keys[1:]))
+        assert (count_out_of_order(keys) == 0) == is_sorted
+
+
+class TestL:
+    def test_sorted_is_zero(self):
+        assert max_displacement(list(range(20))) == 0
+
+    def test_adjacent_swap(self):
+        assert max_displacement([2, 1, 3]) == 1
+
+    def test_long_throw(self):
+        keys = list(range(10))
+        keys[0], keys[9] = keys[9], keys[0]
+        assert max_displacement(keys) == 9
+
+    def test_duplicates_stable(self):
+        # Stable ordering means equal keys are not "displaced".
+        assert max_displacement([5, 5, 5, 5]) == 0
+
+
+class TestInversions:
+    def test_sorted(self):
+        assert count_inversions([1, 2, 3]) == 0
+
+    def test_reverse(self):
+        assert count_inversions([3, 2, 1]) == 3
+
+    def test_duplicates_not_inverted(self):
+        assert count_inversions([2, 2, 2]) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_quadratic_reference(self, keys):
+        reference = sum(
+            1
+            for i in range(len(keys))
+            for j in range(i + 1, len(keys))
+            if keys[i] > keys[j]
+        )
+        assert count_inversions(keys) == reference
+
+
+class TestReport:
+    def test_sorted_report(self):
+        report = measure_sortedness(list(range(100)))
+        assert report.is_sorted
+        assert report.k == report.l == report.inversions == 0
+        assert report.degree() == "sorted"
+
+    def test_fractions(self):
+        keys = list(range(10))
+        keys[0], keys[5] = keys[5], keys[0]
+        report = measure_sortedness(keys)
+        assert report.k_fraction == 0.2
+        assert report.l_fraction == 0.5
+
+    def test_empty_collection(self):
+        report = measure_sortedness([])
+        assert report.k_fraction == 0.0
+        assert report.l_fraction == 0.0
+
+    def test_degrees(self):
+        from repro.sortedness.generator import generate_kl_keys, scrambled_keys
+
+        near = measure_sortedness(generate_kl_keys(2000, 0.10, 0.05, seed=1))
+        assert near.degree() == "near-sorted"
+        scrambled = measure_sortedness(scrambled_keys(2000, seed=1))
+        assert scrambled.degree() == "scrambled"
+
+
+class TestClassicalMeasures:
+    def test_runs_sorted(self):
+        assert count_runs(list(range(10))) == 1
+
+    def test_runs_reversed(self):
+        assert count_runs([3, 2, 1]) == 3
+
+    def test_runs_empty(self):
+        assert count_runs([]) == 0
+
+    def test_runs_duplicates_extend(self):
+        assert count_runs([1, 1, 2, 0, 0, 5]) == 2
+
+    def test_exchange_sorted_zero(self):
+        assert exchange_distance(list(range(10))) == 0
+
+    def test_exchange_single_swap(self):
+        keys = list(range(10))
+        keys[2], keys[7] = keys[7], keys[2]
+        assert exchange_distance(keys) == 1
+
+    def test_exchange_three_cycle(self):
+        # (0 1 2) cycle needs two exchanges.
+        assert exchange_distance([1, 2, 0]) == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_exchange_bounds(self, keys):
+        value = exchange_distance(keys)
+        assert 0 <= value <= max(0, len(keys) - 1)
+
+    def test_normalized_inversions_extremes(self):
+        assert normalized_inversions(list(range(10))) == 0.0
+        assert normalized_inversions(list(range(10, 0, -1))) == 1.0
+        assert normalized_inversions([1]) == 0.0
+
+
+class TestRunningEstimate:
+    def test_sorted_stream_estimates_zero(self):
+        estimate = RunningSortednessEstimate()
+        for key in range(100):
+            estimate.observe(key)
+        assert estimate.k_estimate == 0
+        assert estimate.l_estimate == 0
+
+    def test_out_of_order_detected(self):
+        estimate = RunningSortednessEstimate()
+        for key in (1, 2, 3, 0):
+            estimate.observe(key)
+        assert estimate.k_estimate == 1
+        assert estimate.l_estimate >= 1
+
+    def test_reset(self):
+        estimate = RunningSortednessEstimate()
+        estimate.observe(5)
+        estimate.observe(1)
+        estimate.reset()
+        assert estimate.n == 0
+        assert estimate.k_estimate == 0
+
+    def test_k_fraction_tracks_stream(self):
+        from repro.sortedness.generator import generate_kl_keys
+
+        estimate = RunningSortednessEstimate()
+        for key in generate_kl_keys(4000, 0.10, 0.05, seed=2):
+            estimate.observe(key)
+        # The online estimate should be within a loose band of the truth.
+        assert 0.02 < estimate.k_fraction < 0.40

@@ -1,0 +1,148 @@
+"""Tests for the file-backed page store and checkpointing."""
+
+import os
+import random
+
+import pytest
+
+from repro.btree.btree import BPlusTree, BPlusTreeConfig
+from repro.storage.pagefile import CheckpointStore, PageFile, PageFileError
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "pages.db")
+
+
+class TestPageFile:
+    def test_write_read_roundtrip(self, path):
+        with PageFile(path, slot_size=128) as pf:
+            pf.write_page(1, b"hello")
+            pf.write_page(2, b"world" * 10)
+            assert pf.read_page(1) == b"hello"
+            assert pf.read_page(2) == b"world" * 10
+
+    def test_large_payload_spills_slots(self, path):
+        payload = os.urandom(1000)
+        with PageFile(path, slot_size=128) as pf:
+            pf.write_page(7, payload)
+            assert pf.read_page(7) == payload
+            assert pf.n_slots >= 8
+
+    def test_overwrite_reuses_slots(self, path):
+        with PageFile(path, slot_size=128) as pf:
+            pf.write_page(1, b"a" * 500)
+            slots_before = pf.n_slots
+            pf.write_page(1, b"b" * 500)
+            assert pf.read_page(1) == b"b" * 500
+            assert pf.n_slots == slots_before  # freed slots reused
+
+    def test_free_page(self, path):
+        with PageFile(path, slot_size=128) as pf:
+            pf.write_page(1, b"x")
+            pf.free_page(1)
+            with pytest.raises(PageFileError):
+                pf.read_page(1)
+
+    def test_unknown_page(self, path):
+        with PageFile(path, slot_size=128) as pf:
+            with pytest.raises(PageFileError):
+                pf.read_page(99)
+
+    def test_empty_payload(self, path):
+        with PageFile(path, slot_size=128) as pf:
+            pf.write_page(0, b"")
+            assert pf.read_page(0) == b""
+
+    def test_page_ids(self, path):
+        with PageFile(path, slot_size=128) as pf:
+            pf.write_page(3, b"x")
+            pf.write_page(1, b"y")
+            assert pf.page_ids() == [1, 3]
+
+    def test_rejects_tiny_slots(self, path):
+        with pytest.raises(ValueError):
+            PageFile(path, slot_size=16)
+
+
+class TestCheckpointStore:
+    def _tree(self, n=400, seed=5):
+        tree = BPlusTree(BPlusTreeConfig(leaf_capacity=8, internal_capacity=8))
+        keys = list(range(n))
+        random.Random(seed).shuffle(keys)
+        for key in keys:
+            tree.insert(key, f"value-{key}")
+        return tree
+
+    def test_save_and_load(self, path):
+        tree = self._tree()
+        store = CheckpointStore(path)
+        n_pages = store.save_btree(tree)
+        assert n_pages > 10
+        restored = store.load_btree()
+        assert list(restored.iter_items()) == list(tree.iter_items())
+        restored.check_invariants()
+
+    def test_restored_tree_accepts_writes(self, path):
+        store = CheckpointStore(path)
+        store.save_btree(self._tree(n=100))
+        restored = store.load_btree()
+        restored.insert(10_000, "fresh")
+        restored.bulk_load_append([(20_000 + i, i) for i in range(30)])
+        restored.check_invariants()
+        assert restored.get(10_000) == "fresh"
+
+    def test_empty_tree_checkpoint(self, path):
+        store = CheckpointStore(path)
+        store.save_btree(BPlusTree())
+        restored = store.load_btree()
+        assert restored.get(1) is None
+
+    def test_checkpoint_survives_process_boundary(self, path):
+        """Simulate a restart: separate store objects, same file."""
+        CheckpointStore(path).save_btree(self._tree(n=150, seed=9))
+        restored = CheckpointStore(path).load_btree()
+        assert restored.get(37) == "value-37"
+
+    def test_missing_file_fails_cleanly(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "nope.db"))
+        with pytest.raises((PageFileError, FileNotFoundError, OSError)):
+            store.load_btree()
+
+    def test_garbage_file_fails_cleanly(self, path):
+        with open(path, "wb") as handle:
+            handle.write(os.urandom(4096 * 3))
+        with pytest.raises(PageFileError):
+            CheckpointStore(path).load_btree()
+
+    def test_sware_index_checkpoint_roundtrip(self, path):
+        from repro.core.config import SWAREConfig
+        from repro.core.factory import make_sa_btree
+        from repro.sortedness.generator import generate_kl_keys
+
+        index = make_sa_btree(SWAREConfig(buffer_capacity=64, page_size=8))
+        keys = generate_kl_keys(1500, 0.10, 0.05, seed=6)
+        for key in keys:
+            index.insert(key, key * 2)
+        index.delete(keys[10])
+        store = CheckpointStore(path)
+        store.save_index(index)
+        restored = store.load_index(SWAREConfig(buffer_capacity=64, page_size=8))
+        assert restored.get(keys[0]) == keys[0] * 2
+        assert restored.get(keys[10]) is None
+        # The restored index keeps working as a sortedness-aware index.
+        top = max(keys)
+        for key in range(top + 1, top + 200):
+            restored.insert(key, key)
+        restored.flush_all()
+        assert restored.stats.bulk_loaded_entries > 0
+        restored.backend.check_invariants()
+
+    def test_overwriting_checkpoint(self, path):
+        store = CheckpointStore(path)
+        store.save_btree(self._tree(n=100, seed=1))
+        second = self._tree(n=60, seed=2)
+        store2 = CheckpointStore(path + ".2")
+        store2.save_btree(second)
+        restored = store2.load_btree()
+        assert list(restored.iter_items()) == list(second.iter_items())

@@ -1,0 +1,268 @@
+"""Tests for the SortednessAwareIndex wrapper (SA B+-tree / SA Bε-tree)."""
+
+import random
+
+import pytest
+
+from repro.core.config import SWAREConfig
+from repro.core.factory import (
+    make_baseline_btree,
+    make_sa_betree,
+    make_sa_btree,
+)
+from repro.storage.costmodel import CostModel, Meter
+
+
+def sa_btree(capacity=64, page_size=8, **overrides):
+    return make_sa_btree(
+        SWAREConfig(buffer_capacity=capacity, page_size=page_size, **overrides),
+        leaf_capacity=8,
+        internal_capacity=8,
+    )
+
+
+class TestBasics:
+    def test_insert_get_through_buffer(self):
+        index = sa_btree()
+        index.insert(5, "five")
+        assert index.get(5) == "five"
+        # Still buffered, not yet in the tree.
+        assert index.backend.get(5) is None
+
+    def test_none_value_rejected(self):
+        index = sa_btree()
+        with pytest.raises(ValueError):
+            index.insert(1, None)
+
+    def test_get_missing(self):
+        index = sa_btree()
+        index.insert(5, "x")
+        assert index.get(99) is None
+
+    def test_contains(self):
+        index = sa_btree()
+        index.insert(5, "x")
+        assert 5 in index
+        assert 6 not in index
+
+    def test_update_in_buffer_wins_over_tree(self):
+        index = sa_btree(capacity=16)
+        for key in range(16):  # fills the buffer -> flush
+            index.insert(key, "v1")
+        index.insert(3, "v2")  # buffered newer version
+        assert index.get(3) == "v2"
+
+    def test_flush_all_moves_everything_to_tree(self):
+        index = sa_btree()
+        for key in (5, 1, 9):
+            index.insert(key, key)
+        index.flush_all()
+        assert len(index.buffer) == 0
+        assert sorted(dict(index.backend.iter_items())) == [1, 5, 9]
+
+    def test_flush_all_idempotent_on_empty(self):
+        index = sa_btree()
+        index.flush_all()
+        index.flush_all()
+        assert index.get(1) is None
+
+
+class TestFlushRouting:
+    def test_sorted_ingest_is_all_bulk_loads(self):
+        index = sa_btree(capacity=32)
+        for key in range(200):
+            index.insert(key, key)
+        index.flush_all()
+        assert index.stats.top_inserted_entries == 0
+        assert index.stats.bulk_loaded_entries == 200
+
+    def test_overlapping_entries_are_top_inserted(self):
+        index = sa_btree(capacity=16)
+        for key in range(100, 200):
+            index.insert(key, key)
+        index.flush_all()
+        bulk_before = index.stats.bulk_loaded_entries
+        index.insert(50, 50)  # below the tree's max -> must be a top-insert
+        index.flush_all()
+        assert index.stats.top_inserted_entries == 1
+        assert index.stats.bulk_loaded_entries == bulk_before
+        assert index.get(50) == 50
+
+    def test_flush_dedups_versions(self):
+        index = sa_btree(capacity=16)
+        index.insert(5, "a")
+        index.insert(1, "start-tail")
+        index.insert(5, "b")
+        index.flush_all()
+        # Only the newest version of key 5 reached the tree.
+        assert index.backend.get(5) == "b"
+        assert index.stats.ingested_entries == 2
+
+    def test_automatic_flush_on_full(self):
+        index = sa_btree(capacity=16)
+        for key in range(16):
+            index.insert(key, key)
+        assert index.stats.flushes == 1
+        assert len(index.buffer) < 16
+
+
+class TestDeletes:
+    def test_delete_buffered_key(self):
+        index = sa_btree()
+        index.insert(5, "x")
+        index.delete(5)
+        assert index.get(5) is None
+
+    def test_delete_tree_key_within_buffer_range(self):
+        index = sa_btree(capacity=16)
+        for key in range(16):
+            index.insert(key, key)  # flushed
+        index.insert(0, 0)  # repopulate buffer so it has a range
+        index.insert(15, 15)
+        index.delete(7)  # 7 is in the tree; within buffer range -> tombstone
+        assert index.stats.tombstones_buffered == 1
+        assert index.get(7) is None
+        index.flush_all()
+        assert index.get(7) is None
+        assert index.backend.get(7) is None
+
+    def test_delete_outside_buffer_range_goes_to_tree(self):
+        index = sa_btree(capacity=16)
+        for key in range(16):
+            index.insert(key, key)
+        index.insert(100, 100)
+        index.insert(101, 101)
+        index.delete(3)  # outside buffer range [100, 101] -> direct tree delete
+        assert index.stats.tombstones_buffered == 0
+        assert index.get(3) is None
+
+    def test_delete_then_reinsert(self):
+        index = sa_btree()
+        index.insert(5, "a")
+        index.delete(5)
+        index.insert(5, "b")
+        assert index.get(5) == "b"
+
+    def test_tombstone_beyond_tree_max_dropped_at_flush(self):
+        index = sa_btree()
+        index.insert(10, "x")
+        index.delete(10)  # tombstone for a buffer-only key
+        index.flush_all()
+        assert index.stats.tombstones_dropped >= 1
+        assert index.backend.get(10) is None
+
+
+class TestRangeQueries:
+    def test_merges_buffer_and_tree(self):
+        index = sa_btree(capacity=16)
+        for key in range(0, 32, 2):  # flushes once
+            index.insert(key, "tree-ish")
+        index.insert(5, "buffered")
+        result = dict(index.range_query(0, 10))
+        assert result[5] == "buffered"
+        assert result[4] == "tree-ish"
+
+    def test_buffered_version_shadows_tree(self):
+        index = sa_btree(capacity=16)
+        for key in range(16):
+            index.insert(key, "old")
+        index.insert(7, "new")
+        assert dict(index.range_query(6, 8))[7] == "new"
+
+    def test_tombstone_hides_tree_entry_in_range(self):
+        index = sa_btree(capacity=16)
+        for key in range(16):
+            index.insert(key, key)
+        index.insert(0, 0)
+        index.insert(15, 15)
+        index.delete(7)
+        assert 7 not in dict(index.range_query(0, 15))
+
+    def test_empty_range(self):
+        index = sa_btree()
+        index.insert(5, 5)
+        assert index.range_query(100, 200) == []
+
+
+class TestQueryDrivenSortingIntegration:
+    def test_reads_trigger_query_sorting(self):
+        index = sa_btree(capacity=64, page_size=8, query_sorting_threshold=0.10)
+        index.insert(50, 50)
+        for key in range(20):  # out-of-order tail
+            index.insert(key, key)
+        before = index.stats.query_sorts
+        index.get(3)
+        assert index.stats.query_sorts == before + 1
+        assert index.get(3) == 3
+
+    def test_range_queries_also_trigger(self):
+        index = sa_btree(capacity=64, page_size=8, query_sorting_threshold=0.10)
+        index.insert(50, 50)
+        for key in range(20):
+            index.insert(key, key)
+        index.range_query(0, 5)
+        assert index.stats.query_sorts >= 1
+
+
+class TestEquivalenceWithDict:
+    @pytest.mark.parametrize("backend", ["btree", "betree"])
+    def test_randomized_mixed_operations(self, backend):
+        rng = random.Random(42)
+        config = SWAREConfig(buffer_capacity=128, page_size=16)
+        if backend == "btree":
+            index = make_sa_btree(config, leaf_capacity=8, internal_capacity=8)
+        else:
+            index = make_sa_betree(config, node_size=16, leaf_capacity=8)
+        model = {}
+        for step in range(8000):
+            op = rng.random()
+            key = rng.randrange(1500)
+            if op < 0.55:
+                index.insert(key, key + step)
+                model[key] = key + step
+            elif op < 0.70:
+                index.delete(key)
+                model.pop(key, None)
+            elif op < 0.92:
+                assert index.get(key) == model.get(key), (backend, step, key)
+            else:
+                lo, hi = key, key + rng.randrange(40)
+                expected = sorted((k, v) for k, v in model.items() if lo <= k <= hi)
+                assert index.range_query(lo, hi) == expected, (backend, step)
+        index.flush_all()
+        assert sorted(model.items()) == list(index.backend.iter_items())
+        index.backend.check_invariants()
+        index.buffer.check_invariants()
+
+
+class TestDescribe:
+    def test_describe_shape(self):
+        index = sa_btree()
+        index.insert(1, 1)
+        snapshot = index.describe()
+        assert "buffer" in snapshot and "stats" in snapshot
+        assert 0 < snapshot["buffer_fill"] <= 1.0
+
+
+class TestCostAccounting:
+    def test_sorted_ingest_cheaper_than_baseline(self):
+        model = CostModel()
+        meter_sa, meter_base = Meter(), Meter()
+        sa = make_sa_btree(
+            SWAREConfig(buffer_capacity=128, page_size=16), meter=meter_sa
+        )
+        base = make_baseline_btree(meter=meter_base)
+        for key in range(5000):
+            sa.insert(key, key)
+            base.insert(key, key)
+        assert meter_sa.nanos(model) < meter_base.nanos(model) / 3
+
+    def test_buckets_populated(self):
+        meter = Meter()
+        sa = make_sa_btree(SWAREConfig(buffer_capacity=64, page_size=8), meter=meter)
+        for key in range(200):
+            sa.insert(key, key)
+        sa.get(50)
+        buckets = meter.bucket_nanos(CostModel())
+        assert "bulk_load" in buckets
+        assert "buffer_search" in buckets

@@ -1,0 +1,129 @@
+"""Property-based tests for the full sortedness-aware index."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.config import SWAREConfig
+from repro.core.factory import make_sa_btree
+
+
+def build_index(capacity=32, page_size=4, **overrides):
+    return make_sa_btree(
+        SWAREConfig(buffer_capacity=capacity, page_size=page_size, **overrides),
+        leaf_capacity=4,
+        internal_capacity=4,
+    )
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=500), max_size=400),
+    capacity=st.sampled_from([8, 16, 64, 256]),
+)
+@settings(max_examples=80, deadline=None)
+def test_flush_timing_invariance(keys, capacity):
+    """The visible contents never depend on the buffer capacity (and hence
+    on when flushes happen) — SWARE is purely an ingestion accelerator."""
+    index = build_index(capacity=capacity, page_size=4)
+    reference = {}
+    for step, key in enumerate(keys):
+        index.insert(key, (key, step))
+        reference[key] = (key, step)
+    lo, hi = (min(keys), max(keys)) if keys else (0, 0)
+    assert index.range_query(lo, hi) == sorted(reference.items())
+
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=100),
+        ),
+        max_size=250,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_delete_insert_interleaving(operations):
+    """Tombstones and re-inserts resolve to exactly the dict semantics,
+    whether they sit in the buffer, flush together, or straddle flushes."""
+    index = build_index(capacity=16, page_size=4)
+    reference = {}
+    for step, (op, key) in enumerate(operations):
+        if op == "insert":
+            index.insert(key, step)
+            reference[key] = step
+        else:
+            index.delete(key)
+            reference.pop(key, None)
+    for key in range(101):
+        assert index.get(key) == reference.get(key)
+    index.flush_all()
+    assert dict(index.backend.iter_items()) == reference
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=300), min_size=1, max_size=200
+    ),
+    threshold=st.sampled_from([0.05, 0.25, 1.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_query_sorting_transparent(keys, threshold):
+    """Query-driven sorting must never change what a query returns."""
+    with_qs = build_index(capacity=32, page_size=4, query_sorting_threshold=threshold)
+    without = build_index(capacity=32, page_size=4, query_sorting_threshold=1.0)
+    for step, key in enumerate(keys):
+        with_qs.insert(key, step)
+        without.insert(key, step)
+        if step % 7 == 0:  # interleave reads to trigger query sorting
+            assert with_qs.get(key) == without.get(key)
+    for key in set(keys):
+        assert with_qs.get(key) == without.get(key)
+
+
+class SAIndexMachine(RuleBasedStateMachine):
+    """Stateful fuzzing of the SA B+-tree with invariant checks."""
+
+    def __init__(self):
+        super().__init__()
+        self.index = build_index(capacity=16, page_size=4)
+        self.model = {}
+        self.step = 0
+
+    @rule(key=st.integers(min_value=0, max_value=60))
+    def insert(self, key):
+        self.step += 1
+        self.index.insert(key, self.step)
+        self.model[key] = self.step
+
+    @rule(key=st.integers(min_value=0, max_value=60))
+    def delete(self, key):
+        self.index.delete(key)
+        self.model.pop(key, None)
+
+    @rule(key=st.integers(min_value=-5, max_value=65))
+    def get(self, key):
+        assert self.index.get(key) == self.model.get(key)
+
+    @rule(lo=st.integers(min_value=-5, max_value=65), width=st.integers(0, 30))
+    def range(self, lo, width):
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if lo <= k <= lo + width
+        )
+        assert self.index.range_query(lo, lo + width) == expected
+
+    @rule()
+    def flush_all(self):
+        self.index.flush_all()
+
+    @invariant()
+    def structures_hold(self):
+        self.index.backend.check_invariants()
+        self.index.buffer.check_invariants()
+
+
+from hypothesis import settings as hyp_settings  # noqa: E402
+
+TestSAIndexStateful = SAIndexMachine.TestCase
+TestSAIndexStateful.settings = hyp_settings(
+    max_examples=25, deadline=None, stateful_step_count=50
+)
