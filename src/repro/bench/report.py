@@ -93,6 +93,30 @@ def ascii_scatter(
     return "\n".join(lines) + "\n"
 
 
+def format_histograms(
+    histograms: Dict[str, dict],
+    title: Optional[str] = None,
+) -> str:
+    """Latency/size distribution table from a registry snapshot's
+    ``histograms`` section (count, mean, p50/p95/p99)."""
+    rows: List[Sequence[object]] = []
+    for name in sorted(histograms):
+        data = histograms[name]
+        rows.append(
+            [
+                name,
+                int(data["count"]),
+                float(data.get("mean", 0.0)),
+                float(data["p50"]),
+                float(data["p95"]),
+                float(data["p99"]),
+            ]
+        )
+    return format_table(
+        ["histogram", "count", "mean", "p50", "p95", "p99"], rows, title=title
+    )
+
+
 def format_breakdown(
     title: str,
     buckets: Dict[str, float],

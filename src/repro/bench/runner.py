@@ -10,12 +10,23 @@ latency — see DESIGN.md substitution #1.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.sware import SortednessAwareIndex
+from repro.obs import NULL_OBS, Observability, current_obs
+from repro.obs import observe as obs_observe
 from repro.storage.costmodel import CostModel, Meter
 from repro.workloads.spec import DELETE, INSERT, LOOKUP, RANGE, Operation
+
+#: Histogram metric per op code, recorded when a run is observed.
+OP_HISTOGRAMS = {
+    INSERT: "op_insert_latency_ns",
+    LOOKUP: "op_lookup_latency_ns",
+    RANGE: "op_range_latency_ns",
+    DELETE: "op_delete_latency_ns",
+}
 
 #: A factory receives the run's meter and returns a ready index
 #: (a raw tree or a SortednessAwareIndex).
@@ -69,6 +80,26 @@ class RunResult:
                 return phase
         raise KeyError(name)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form, the unit of the bench telemetry artifact."""
+        return {
+            "label": self.label,
+            "phases": [
+                {
+                    "name": phase.name,
+                    "n_ops": phase.n_ops,
+                    "sim_ns": phase.sim_ns,
+                    "wall_ns": phase.wall_ns,
+                    "sim_ns_per_op": phase.sim_ns_per_op,
+                }
+                for phase in self.phases
+            ],
+            "bucket_sim_ns": dict(self.bucket_sim_ns),
+            "counts": dict(self.counts),
+            "sware_stats": dict(self.sware_stats),
+            "index_stats": dict(self.index_stats),
+        }
+
 
 def execute_operations(index, operations: Iterable[Operation]) -> int:
     """Dispatch an operation stream against an index; returns op count."""
@@ -92,33 +123,82 @@ def execute_operations(index, operations: Iterable[Operation]) -> int:
     return n
 
 
+def execute_operations_observed(
+    index, operations: Iterable[Operation], obs: Observability
+) -> int:
+    """Like :func:`execute_operations`, but times every op into per-kind
+    latency histograms on ``obs`` (the Fig. 13-style distributions the bench
+    artifact reports as p50/p95/p99)."""
+    n = 0
+    clock = time.perf_counter_ns
+    histograms = {
+        op: obs.registry.histogram(name) for op, name in OP_HISTOGRAMS.items()
+    }
+    dispatch = {
+        INSERT: index.insert,
+        LOOKUP: index.get,
+        RANGE: index.range_query,
+        DELETE: index.delete,
+    }
+    for op, a, b in operations:
+        fn = dispatch.get(op)
+        if fn is None:  # pragma: no cover - defensive
+            raise ValueError(f"unknown operation code {op}")
+        start = clock()
+        if op == INSERT or op == RANGE:
+            fn(a, b)
+        else:
+            fn(a)
+        histograms[op].observe(clock() - start)
+        n += 1
+    return n
+
+
 def run_phases(
     factory: IndexFactory,
     phases: List[Tuple[str, Iterable[Operation]]],
     cost_model: Optional[CostModel] = None,
     label: str = "",
     flush_after: Optional[str] = None,
+    obs: Optional[Observability] = None,
 ) -> RunResult:
     """Build an index and run the phases, measuring each.
 
     ``flush_after`` names a phase after which ``flush_all()`` is invoked on
     a SWARE index (its cost lands in that phase, mirroring the paper's
     "drain before read-only measurement" setups where used).
+
+    When an :class:`Observability` is supplied (or installed via
+    ``repro.obs.observe``), every op is additionally timed into per-kind
+    latency histograms, the run's :class:`Meter` registers as a collector,
+    and the serialized result is recorded for the bench JSON artifact.
     """
     model = cost_model or CostModel()
     meter = Meter()
-    index = factory(meter)
-    result = RunResult(label=label)
+    obs = obs if obs is not None else current_obs()
+    observed = obs is not NULL_OBS
+    # Components constructed by the factory pick their obs up from the
+    # active context, so an explicitly passed obs must be installed too.
+    ctx = obs_observe(obs) if observed else nullcontext()
+    with ctx:
+        index = factory(meter)
+        result = RunResult(label=label)
+        if observed:
+            obs.register_collector(f"meter_{label}" if label else "meter", meter.snapshot)
 
-    for name, operations in phases:
-        before = meter.nanos(model)
-        start = time.perf_counter_ns()
-        n_ops = execute_operations(index, operations)
-        if flush_after == name and isinstance(index, SortednessAwareIndex):
-            index.flush_all()
-        wall = time.perf_counter_ns() - start
-        sim = meter.nanos(model) - before
-        result.phases.append(PhaseResult(name=name, n_ops=n_ops, sim_ns=sim, wall_ns=wall))
+        for name, operations in phases:
+            before = meter.nanos(model)
+            start = time.perf_counter_ns()
+            with obs.span("run.phase", label=label, phase=name):
+                if observed:
+                    n_ops = execute_operations_observed(index, operations, obs)
+                else:
+                    n_ops = execute_operations(index, operations)
+                if flush_after == name and isinstance(index, SortednessAwareIndex):
+                    index.flush_all()
+            wall = time.perf_counter_ns() - start
+            sim = meter.nanos(model) - before
+            result.phases.append(PhaseResult(name=name, n_ops=n_ops, sim_ns=sim, wall_ns=wall))
 
     result.bucket_sim_ns = meter.bucket_nanos(model)
     result.counts = meter.snapshot()
@@ -145,6 +225,8 @@ def run_phases(
     space = getattr(tree, "space_stats", None)
     if callable(space):
         result.index_stats.update({f"space_{k}": v for k, v in space().items()})
+    if observed:
+        obs.record_run(result.to_dict())
     return result
 
 

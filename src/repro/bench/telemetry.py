@@ -1,0 +1,131 @@
+"""Machine-readable bench telemetry: the ``BENCH_<experiment>.json`` artifact.
+
+Every observed experiment run serializes into one JSON document so the perf
+trajectory is diffable across PRs (the role SOSD's uniform measurement
+harness plays for learned indexes). The artifact bundles:
+
+* ``runs`` — per-run phases (name, n_ops, sim_ns, wall_ns), meter bucket
+  breakdowns, raw counters, and SWARE/tree statistics;
+* ``metrics`` — the full :class:`~repro.obs.MetricsRegistry` snapshot,
+  including per-op latency histograms with p50/p95/p99;
+* ``trace`` — ring-buffer accounting (events recorded/dropped).
+
+The schema is validated by hand (:func:`validate_bench_artifact`) — the
+offline environment has no ``jsonschema`` — and the validator doubles as
+the CI smoke check for ``repro experiment fig13 --json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.report import results_dir
+from repro.obs import Observability
+
+SCHEMA = "repro-bench/v1"
+
+_PHASE_FIELDS = ("name", "n_ops", "sim_ns", "wall_ns")
+_HISTOGRAM_FIELDS = ("buckets", "counts", "sum", "count", "p50", "p95", "p99")
+
+
+def build_bench_artifact(
+    experiment: str,
+    obs: Observability,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the artifact from everything ``obs`` recorded."""
+    tracer = obs.tracer
+    doc: Dict[str, object] = {
+        "schema": SCHEMA,
+        "experiment": experiment,
+        "created_unix": time.time(),
+        "repro_scale": float(os.environ.get("REPRO_SCALE", "1.0")),
+        "runs": list(obs.runs),
+        "metrics": obs.registry.snapshot(),
+        "trace": {
+            "recorded": tracer.recorded if tracer is not None else 0,
+            "dropped": tracer.dropped if tracer is not None else 0,
+            "capacity": tracer.capacity if tracer is not None else 0,
+        },
+    }
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def validate_bench_artifact(doc: object) -> List[str]:
+    """Schema check; returns a list of problems (empty means valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["artifact is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("experiment"), str) or not doc.get("experiment"):
+        errors.append("experiment must be a non-empty string")
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs must be a non-empty list")
+        runs = []
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            errors.append(f"runs[{i}] is not an object")
+            continue
+        phases = run.get("phases")
+        if not isinstance(phases, list) or not phases:
+            errors.append(f"runs[{i}].phases must be a non-empty list")
+            continue
+        for j, phase in enumerate(phases):
+            for key in _PHASE_FIELDS:
+                if key not in phase:
+                    errors.append(f"runs[{i}].phases[{j}] missing {key!r}")
+        for key in ("bucket_sim_ns", "counts"):
+            if not isinstance(run.get(key), dict):
+                errors.append(f"runs[{i}].{key} must be an object")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("metrics must be an object")
+    else:
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(metrics.get(section), dict):
+                errors.append(f"metrics.{section} must be an object")
+        for name, hist in (metrics.get("histograms") or {}).items():
+            if not isinstance(hist, dict):
+                errors.append(f"metrics.histograms[{name!r}] is not an object")
+                continue
+            for key in _HISTOGRAM_FIELDS:
+                if key not in hist:
+                    errors.append(f"metrics.histograms[{name!r}] missing {key!r}")
+            buckets = hist.get("buckets")
+            counts = hist.get("counts")
+            if (
+                isinstance(buckets, list)
+                and isinstance(counts, list)
+                and len(counts) != len(buckets) + 1
+            ):
+                errors.append(
+                    f"metrics.histograms[{name!r}]: counts must have "
+                    "len(buckets) + 1 entries (+Inf bucket)"
+                )
+
+    trace = doc.get("trace")
+    if not isinstance(trace, dict) or not all(
+        isinstance(trace.get(key), (int, float)) for key in ("recorded", "dropped")
+    ):
+        errors.append("trace must be an object with numeric recorded/dropped")
+    return errors
+
+
+def save_bench_artifact(doc: Dict[str, object], path: Optional[Path] = None) -> Path:
+    """Write the artifact (default: ``results/BENCH_<experiment>.json``)."""
+    if path is None:
+        path = results_dir() / f"BENCH_{doc['experiment']}.json"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

@@ -25,6 +25,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.betree.messages import DELETE, PUT, Message
 from repro.btree.node import InternalNode, LeafNode
 from repro.errors import BulkLoadError, ConfigError, InvariantViolation
+from repro.obs import DEFAULT_SIZE_BUCKETS, NULL_OBS, Observability, current_obs
 from repro.storage.bufferpool import BufferPool, PageIdAllocator
 from repro.storage.costmodel import NULL_METER, Meter
 
@@ -85,9 +86,11 @@ class BeTree:
         config: Optional[BeTreeConfig] = None,
         meter: Optional[Meter] = None,
         pool: Optional[BufferPool] = None,
+        obs: Optional[Observability] = None,
     ):
         self.config = config or BeTreeConfig()
         self.meter = meter if meter is not None else NULL_METER
+        self.obs = obs if obs is not None else current_obs()
         self.pool = pool
         self._pages = PageIdAllocator()
         self._root: Optional[object] = None
@@ -106,6 +109,21 @@ class BeTree:
         self.messages_moved = 0
         self.top_inserts = 0
         self.bulk_loaded_entries = 0
+        if self.obs is not NULL_OBS:
+            self.obs.register_collector("betree", self._obs_snapshot)
+
+    def _obs_snapshot(self) -> dict:
+        return {
+            "height": self.height,
+            "leaf_count": self.leaf_count,
+            "internal_count": self.internal_count,
+            "leaf_splits": self.leaf_splits,
+            "internal_splits": self.internal_splits,
+            "buffer_flushes": self.buffer_flushes,
+            "messages_moved": self.messages_moved,
+            "top_inserts": self.top_inserts,
+            "bulk_loaded_entries": self.bulk_loaded_entries,
+        }
 
     # ------------------------------------------------------------------
     # helpers
@@ -221,6 +239,13 @@ class BeTree:
             node.buffer = [m for m in node.buffer if id(m) not in moving_ids]
             self.messages_moved += len(moving)
             self.meter.charge("message_move", len(moving))
+            if self.obs.enabled:
+                self.obs.event(
+                    "betree.buffer_flush", moved=len(moving), pending=len(node.buffer)
+                )
+            self.obs.observe_hist(
+                "betree_messages_per_flush", len(moving), buckets=DEFAULT_SIZE_BUCKETS
+            )
 
             child = node.children[target]
             self._touch(child, dirty=True)
@@ -347,6 +372,11 @@ class BeTree:
         self._recompute_tail_path()
         fill = max(1, int(self.config.leaf_capacity * self.config.bulk_fill_factor))
         self.meter.charge("bulk_entry", len(items))
+        if self.obs.enabled:
+            self.obs.event("betree.bulk_load", entries=len(items))
+        self.obs.observe_hist(
+            "betree_bulk_load_entries", len(items), buckets=DEFAULT_SIZE_BUCKETS
+        )
 
         pos = 0
         total = len(items)

@@ -32,6 +32,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import BulkLoadError, ConfigError, InvariantViolation
 from repro.btree.node import InternalNode, LeafNode
+from repro.obs import DEFAULT_SIZE_BUCKETS, NULL_OBS, Observability, current_obs
 from repro.storage.bufferpool import BufferPool, PageIdAllocator
 from repro.storage.costmodel import NULL_METER, Meter
 
@@ -72,9 +73,11 @@ class BPlusTree:
         config: Optional[BPlusTreeConfig] = None,
         meter: Optional[Meter] = None,
         pool: Optional[BufferPool] = None,
+        obs: Optional[Observability] = None,
     ):
         self.config = config or BPlusTreeConfig()
         self.meter = meter if meter is not None else NULL_METER
+        self.obs = obs if obs is not None else current_obs()
         self.pool = pool
         self._pages = PageIdAllocator()
         self._root: Optional[object] = None
@@ -93,6 +96,21 @@ class BPlusTree:
         self.bulk_loaded_entries = 0
         self._max_key: Optional[int] = None
         self._min_key: Optional[int] = None
+        if self.obs is not NULL_OBS:
+            self.obs.register_collector("btree", self._obs_snapshot)
+
+    def _obs_snapshot(self) -> dict:
+        return {
+            "n_entries": self.n_entries,
+            "height": self.height,
+            "leaf_count": self.leaf_count,
+            "internal_count": self.internal_count,
+            "leaf_splits": self.leaf_splits,
+            "internal_splits": self.internal_splits,
+            "top_inserts": self.top_inserts,
+            "fastpath_inserts": self.fastpath_inserts,
+            "bulk_loaded_entries": self.bulk_loaded_entries,
+        }
 
     # ------------------------------------------------------------------
     # helpers
@@ -190,6 +208,8 @@ class BPlusTree:
     def _split_leaf(self, leaf: LeafNode, path: List[InternalNode]) -> None:
         self.leaf_splits += 1
         self.meter.charge("leaf_split")
+        if self.obs.enabled:
+            self.obs.event("btree.leaf_split", entries=len(leaf.keys), depth=len(path))
         split = self._split_point(len(leaf.keys), self.config.leaf_capacity)
         right = self._new_leaf()
         right.keys = leaf.keys[split:]
@@ -206,6 +226,8 @@ class BPlusTree:
     def _split_internal(self, node: InternalNode, path: List[InternalNode]) -> None:
         self.internal_splits += 1
         self.meter.charge("internal_split")
+        if self.obs.enabled:
+            self.obs.event("btree.internal_split", pivots=len(node.keys), depth=len(path))
         split = self._split_point(len(node.keys), self.config.internal_capacity)
         promoted = node.keys[split]
         right = self._new_internal()
@@ -262,6 +284,11 @@ class BPlusTree:
         self._ensure_root()
         fill = max(1, int(self.config.leaf_capacity * self.config.bulk_fill_factor))
         self.meter.charge("bulk_entry", len(items))
+        if self.obs.enabled:
+            self.obs.event("btree.bulk_load", entries=len(items))
+        self.obs.observe_hist(
+            "btree_bulk_load_entries", len(items), buckets=DEFAULT_SIZE_BUCKETS
+        )
 
         pos = 0
         total = len(items)

@@ -12,7 +12,16 @@ Commands
 ``experiment``
     Run one of the paper's experiments by name (fig09 … fig21, table1,
     table3, flush_threshold, zonemap_ablation, space, lsm_sortedness) and
-    print its report.
+    print its report. With ``--json PATH`` the run is observed through
+    ``repro.obs`` and a schema-valid ``BENCH_<name>.json`` telemetry
+    artifact (per-phase sim/wall ns, counters, latency percentiles) is
+    written to PATH and to the results directory.
+``stats``
+    Run an instrumented workload (or load a ``--from`` artifact) and render
+    the metrics registry in Prometheus text exposition format.
+``trace``
+    Run a small instrumented workload with event tracing enabled and print
+    the structured event timeline (flushes, sorts, bulk loads, splits).
 """
 
 from __future__ import annotations
@@ -74,6 +83,41 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run a paper experiment by name")
     exp.add_argument("name", choices=EXPERIMENTS)
     exp.add_argument("--n", type=int, default=None, help="override workload size")
+    exp.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="observe the run and write the BENCH_<name>.json telemetry artifact",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="render observability metrics in Prometheus text format"
+    )
+    stats.add_argument("--n", type=int, default=20_000)
+    stats.add_argument("--k", type=float, default=0.10)
+    stats.add_argument("--l", type=float, default=0.05)
+    stats.add_argument("--read-fraction", type=float, default=0.5)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument(
+        "--from",
+        dest="from_json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="render a saved BENCH_*.json artifact instead of running a workload",
+    )
+    stats.add_argument(
+        "--human", action="store_true", help="histogram summary table instead"
+    )
+
+    trace = sub.add_parser("trace", help="print a structured event timeline")
+    trace.add_argument("--n", type=int, default=5_000)
+    trace.add_argument("--k", type=float, default=0.10)
+    trace.add_argument("--l", type=float, default=0.05)
+    trace.add_argument("--read-fraction", type=float, default=0.5)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--limit", type=int, default=200, help="max events to print")
 
     return parser
 
@@ -153,8 +197,88 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.n is not None:
         kwargs["n"] = args.n
-    result = module.run(**kwargs)
+    if args.json is None:
+        result = module.run(**kwargs)
+        print(result.report)
+        return 0
+
+    from pathlib import Path
+
+    from repro.bench.telemetry import (
+        build_bench_artifact,
+        save_bench_artifact,
+        validate_bench_artifact,
+    )
+    from repro.obs import Observability, observe
+
+    obs = Observability(trace=True)
+    with observe(obs):
+        result = module.run(**kwargs)
     print(result.report)
+    doc = build_bench_artifact(args.name, obs)
+    errors = validate_bench_artifact(doc)
+    if errors:  # pragma: no cover - a bug, not an input error
+        for error in errors:
+            print(f"invalid bench artifact: {error}", file=sys.stderr)
+        return 1
+    save_bench_artifact(doc, Path(args.json))
+    default_path = save_bench_artifact(doc)
+    print(f"wrote telemetry to {args.json} and {default_path}", file=sys.stderr)
+    return 0
+
+
+def _run_observed_demo(args: argparse.Namespace, obs) -> None:
+    """The `stats`/`trace` workload: one observed SA B+-tree mixed run."""
+    from repro.bench.experiments import common
+    from repro.bench.runner import run_phases
+    from repro.obs import observe
+
+    keys = common.keys_for(args.n, args.k, args.l, seed=args.seed)
+    ops = common.mixed_ops(keys, args.read_fraction, seed=args.seed)
+    with observe(obs):
+        run_phases(
+            common.sa_btree_factory(common.buffer_config(args.n, 0.01)),
+            [("mixed", ops)],
+            label="SA",
+        )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.report import format_histograms
+    from repro.obs import Observability
+    from repro.obs.export import snapshot_to_prometheus
+
+    if args.from_json is not None:
+        try:
+            with open(args.from_json) as handle:
+                doc = json.load(handle)
+        except OSError as exc:
+            print(f"cannot read {args.from_json}: {exc.strerror}", file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"{args.from_json} is not valid JSON: {exc}", file=sys.stderr)
+            return 1
+        snapshot = doc.get("metrics", doc)
+    else:
+        obs = Observability()
+        _run_observed_demo(args, obs)
+        snapshot = obs.registry.snapshot()
+    if args.human:
+        print(format_histograms(snapshot.get("histograms", {}), title="Histograms"))
+    else:
+        sys.stdout.write(snapshot_to_prometheus(snapshot))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.obs.export import render_trace
+
+    obs = Observability(trace=True)
+    _run_observed_demo(args, obs)
+    sys.stdout.write(render_trace(obs.tracer, limit=args.limit))
     return 0
 
 
@@ -165,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "measure": _cmd_measure,
         "demo": _cmd_demo,
         "experiment": _cmd_experiment,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 

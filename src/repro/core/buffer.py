@@ -48,6 +48,7 @@ from repro.search.interpolation import interpolation_search
 from repro.sortedness.klsort import kl_sort
 from repro.sortedness.metrics import RunningSortednessEstimate
 from repro.errors import KLSortCapacityError
+from repro.obs import DEFAULT_SIZE_BUCKETS, Observability, current_obs
 from repro.storage.costmodel import NULL_METER, Meter
 
 #: Lookup outcomes.
@@ -93,10 +94,12 @@ class SWAREBuffer:
         config: Optional[SWAREConfig] = None,
         meter: Optional[Meter] = None,
         stats: Optional[SWAREStats] = None,
+        obs: Optional[Observability] = None,
     ):
         self.config = config or SWAREConfig()
         self.meter = meter if meter is not None else NULL_METER
         self.stats = stats if stats is not None else SWAREStats()
+        self.obs = obs if obs is not None else current_obs()
         cfg = self.config
         self._main: List[Entry] = []
         self._main_keys: List[int] = []
@@ -315,6 +318,10 @@ class SWAREBuffer:
             self.meter.charge("sort_comparison", n * max(1, n.bit_length()))
         self.stats.sorted_entries += n
         self._tail_sorted_cache = sorted_tail
+        obs = self.obs
+        if obs.enabled:
+            obs.event("buffer.tail_sort", n=n, algorithm=algorithm)
+        obs.observe_hist("buffer_sort_entries", n, buckets=DEFAULT_SIZE_BUCKETS)
         return sorted_tail, algorithm
 
     def _merge_streams(self, streams: List[List[Entry]]) -> List[Entry]:
@@ -368,6 +375,10 @@ class SWAREBuffer:
         """Freeze the unsorted tail into a new query-sorted block."""
         if not self._tail:
             return
+        if self.obs.enabled:
+            self.obs.event(
+                "buffer.query_sort", tail=len(self._tail), blocks=len(self._blocks)
+            )
         sorted_tail, _ = self._sort_tail()
         self._blocks.append(_SortedBlock(entries=sorted_tail))
         self.stats.query_sorts += 1
@@ -433,6 +444,8 @@ class SWAREBuffer:
             shared = SharedHash(key, cfg.hash_family)
             if not self.global_bf.may_contain_shared(shared):
                 self.stats.global_bf_negatives += 1
+                if self.obs.enabled:
+                    self.obs.event("buffer.global_bf_skip", key=key)
                 return MISS, None
 
         page_size = cfg.page_size
@@ -442,6 +455,8 @@ class SWAREBuffer:
                 self.meter.charge("zonemap_check")
                 if not self.page_zonemaps.page_may_contain(page, key):
                     self.stats.zonemap_page_skips += 1
+                    if self.obs.enabled:
+                        self.obs.event("buffer.zonemap_page_skip", key=key, page=page)
                     continue
             if cfg.enable_page_bf and page < len(self._page_bfs):
                 self.meter.charge("bf_probe")

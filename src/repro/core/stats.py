@@ -72,4 +72,5 @@ class SWAREStats:
         fields.update(self.extra)
         fields["ingested_entries"] = self.ingested_entries
         fields["bulk_load_fraction"] = self.bulk_load_fraction
+        fields["pages_scanned_per_lookup"] = self.pages_scanned_per_lookup
         return fields

@@ -25,6 +25,7 @@ from typing import List, Optional, Protocol, Tuple, runtime_checkable
 from repro.core.buffer import HIT, TOMBSTONE, Entry, FlushBatch, SWAREBuffer
 from repro.core.config import SWAREConfig
 from repro.core.stats import SWAREStats
+from repro.obs import DEFAULT_SIZE_BUCKETS, NULL_OBS, Observability, current_obs
 from repro.storage.costmodel import Meter, NULL_METER
 
 
@@ -59,14 +60,20 @@ class SortednessAwareIndex:
         backend: TreeBackend,
         config: Optional[SWAREConfig] = None,
         meter: Optional[Meter] = None,
+        obs: Optional[Observability] = None,
     ):
         self.config = config or SWAREConfig()
         self.meter = meter if meter is not None else NULL_METER
+        self.obs = obs if obs is not None else current_obs()
         self.stats = SWAREStats()
         self.backend = backend
         if backend.meter is NULL_METER and self.meter is not NULL_METER:
             backend.meter = self.meter
-        self.buffer = SWAREBuffer(self.config, meter=self.meter, stats=self.stats)
+        self.buffer = SWAREBuffer(
+            self.config, meter=self.meter, stats=self.stats, obs=self.obs
+        )
+        if self.obs is not NULL_OBS:
+            self.obs.register_collector("sware", self.stats.snapshot)
 
     # ------------------------------------------------------------------
     # writes
@@ -96,14 +103,26 @@ class SortednessAwareIndex:
         """Drain the entire buffer into the tree (end-of-ingest helper)."""
         if self.buffer.is_empty:
             return
-        with self.meter.bucket("sort"):
-            batch = self.buffer.drain()
-        self._apply_batch(batch)
+        with self.obs.span("sware.drain") as span:
+            with self.meter.bucket("sort"):
+                batch = self.buffer.drain()
+            span.set(entries=len(batch.entries))
+            self._apply_batch(batch)
 
     def _flush_cycle(self) -> None:
-        with self.meter.bucket("sort"):
-            batch = self.buffer.prepare_flush()
-        self._apply_batch(batch)
+        with self.obs.span("sware.flush_cycle") as span:
+            with self.meter.bucket("sort"):
+                batch = self.buffer.prepare_flush()
+            span.set(
+                entries=len(batch.entries),
+                effortless=batch.sorted_without_effort,
+                sort_algorithm=batch.sort_algorithm,
+                retained=batch.retained,
+            )
+            self._apply_batch(batch)
+        self.obs.observe_hist(
+            "sware_flush_entries", len(batch.entries), buckets=DEFAULT_SIZE_BUCKETS
+        )
 
     def _apply_batch(self, batch: FlushBatch) -> None:
         """Dedup a flush batch and route it to bulk load / top-inserts."""
@@ -144,6 +163,20 @@ class SortednessAwareIndex:
             with self.meter.bucket("bulk_load"):
                 self.backend.bulk_load_append(bulk_items)
             self.stats.bulk_loaded_entries += len(bulk_items)
+        obs = self.obs
+        if obs.enabled:
+            obs.event(
+                "sware.batch_routed",
+                bulk=len(bulk_items),
+                top=len(overlapping),
+                tombstones_dropped=len(beyond) - len(bulk_items),
+            )
+        obs.observe_hist(
+            "sware_bulk_load_entries", len(bulk_items), buckets=DEFAULT_SIZE_BUCKETS
+        )
+        obs.observe_hist(
+            "sware_top_insert_entries", len(overlapping), buckets=DEFAULT_SIZE_BUCKETS
+        )
 
     # ------------------------------------------------------------------
     # reads

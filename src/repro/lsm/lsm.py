@@ -28,6 +28,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import BulkLoadError, ConfigError
 from repro.lsm.run import Entry, SortedRun
+from repro.obs import DEFAULT_SIZE_BUCKETS, NULL_OBS, Observability, current_obs
 from repro.storage.costmodel import NULL_METER, Meter
 
 LEVELING = "leveling"
@@ -62,9 +63,15 @@ class LSMConfig:
 class LSMTree:
     """See module docstring."""
 
-    def __init__(self, config: Optional[LSMConfig] = None, meter: Optional[Meter] = None):
+    def __init__(
+        self,
+        config: Optional[LSMConfig] = None,
+        meter: Optional[Meter] = None,
+        obs: Optional[Observability] = None,
+    ):
         self.config = config or LSMConfig()
         self.meter = meter if meter is not None else NULL_METER
+        self.obs = obs if obs is not None else current_obs()
         self._memtable: Dict[int, Entry] = {}
         self._levels: List[List[SortedRun]] = []  # newest run first per level
         self._seq = 0
@@ -76,6 +83,19 @@ class LSMTree:
         self.trivial_moves = 0
         self.entries_written = 0  # every entry (re-)written to a run
         self.inserts = 0
+        if self.obs is not NULL_OBS:
+            self.obs.register_collector("lsm", self._obs_snapshot)
+
+    def _obs_snapshot(self) -> dict:
+        return {
+            "flushes": self.flushes,
+            "merges": self.merges,
+            "trivial_moves": self.trivial_moves,
+            "entries_written": self.entries_written,
+            "inserts": self.inserts,
+            "n_runs": self.n_runs(),
+            "write_amplification": self.write_amplification,
+        }
 
     # ------------------------------------------------------------------
     # writes
@@ -104,6 +124,9 @@ class LSMTree:
         entries = sorted(self._memtable.values(), key=lambda e: (e[0], e[1]))
         n = len(entries)
         self.meter.charge("sort_comparison", n * max(1, n.bit_length()))
+        if self.obs.enabled:
+            self.obs.event("lsm.memtable_flush", entries=n)
+        self.obs.observe_hist("lsm_flush_entries", n, buckets=DEFAULT_SIZE_BUCKETS)
         self._memtable.clear()
         run = SortedRun(entries, self.config.bits_per_entry)
         self._charge_write(len(run))  # the flush itself writes the run once
@@ -130,6 +153,8 @@ class LSMTree:
             # Skip-merge: the new run is disjoint from everything resident —
             # a metadata-only trivial move, no rewriting.
             self.trivial_moves += 1
+            if self.obs.enabled:
+                self.obs.event("lsm.trivial_move", level=level, entries=len(run))
             resident.insert(0, run)
         elif self.config.policy == LEVELING:
             if resident:
@@ -176,6 +201,8 @@ class LSMTree:
             return SortedRun([])
         total = sum(len(stream) for stream in streams)
         self.meter.charge("merge_step", total)
+        if self.obs.enabled:
+            self.obs.event("lsm.merge", runs=len(streams), entries=total)
         merged_sorted = heap_merge(*streams, key=lambda e: (e[0], e[1]))
         deduped: List[Entry] = []
         for entry in merged_sorted:

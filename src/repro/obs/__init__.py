@@ -1,0 +1,161 @@
+"""``repro.obs`` — the unified observability layer.
+
+One :class:`Observability` object bundles the two measurement surfaces every
+component shares:
+
+* a :class:`~repro.obs.registry.MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms, and collectors that poll ``SWAREStats`` /
+  ``Meter`` / bufferpool counters at export time);
+* a :class:`~repro.obs.tracer.Tracer` (ring-buffered structured events and
+  nested spans for flush cycles, sorts, bulk-load/top-insert routing,
+  filter skips, and evictions).
+
+Components accept an ``obs`` keyword; when omitted they pick up the
+*active* observability installed by :func:`observe` (how ``repro
+experiment --json``, ``repro stats`` and the bench runner instrument whole
+runs without threading a parameter through every factory), falling back to
+the shared :data:`NULL_OBS`, whose methods are no-ops, so uninstrumented
+hot paths stay at their previous cost.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_SPAN, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "TraceEvent",
+    "Observability",
+    "NULL_OBS",
+    "current_obs",
+    "observe",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+
+class Observability:
+    """Registry + tracer, plus the run log the bench artifact is built from."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        trace: bool = False,
+        trace_capacity: int = 8192,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(
+            capacity=trace_capacity, enabled=trace
+        )
+        #: Serialized RunResults recorded by the bench runner (in run order).
+        self.runs: List[Dict[str, object]] = []
+
+    # -- tracing -----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True when event tracing is on (hot paths gate on this)."""
+        return self.tracer.enabled
+
+    def event(self, name: str, **attrs) -> None:
+        self.tracer.event(name, **attrs)
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    # -- metrics -----------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(value)
+
+    def observe_hist(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_NS,
+    ) -> None:
+        self.registry.histogram(name, buckets=buckets).observe(value)
+
+    def register_collector(self, name: str, fn: Callable[[], Dict[str, float]]) -> str:
+        return self.registry.register_collector(name, fn)
+
+    # -- bench integration -------------------------------------------------
+    def record_run(self, payload: Dict[str, object]) -> None:
+        self.runs.append(payload)
+
+
+class _NullObservability(Observability):
+    """The do-nothing observability every component defaults to.
+
+    Methods are overridden (not just gated) so a disabled hot path pays one
+    no-op call at flush-granularity sites and a single ``.enabled`` check at
+    per-op sites.
+    """
+
+    def __init__(self) -> None:  # no registry/tracer allocation
+        self.registry = None  # type: ignore[assignment]
+        self.tracer = None  # type: ignore[assignment]
+        self.runs = []
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def span(self, name: str, **attrs):
+        return NULL_SPAN
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe_hist(self, name: str, value: float, buckets=DEFAULT_LATENCY_BUCKETS_NS) -> None:
+        return None
+
+    def register_collector(self, name: str, fn) -> str:
+        return name
+
+    def record_run(self, payload) -> None:
+        return None
+
+
+NULL_OBS = _NullObservability()
+
+#: Stack of active Observability objects (innermost last).
+_ACTIVE: List[Observability] = []
+
+
+def current_obs() -> Observability:
+    """The innermost active observability, or :data:`NULL_OBS`."""
+    return _ACTIVE[-1] if _ACTIVE else NULL_OBS
+
+
+@contextmanager
+def observe(obs: Observability) -> Iterator[Observability]:
+    """Install ``obs`` as the active observability for the dynamic extent."""
+    _ACTIVE.append(obs)
+    try:
+        yield obs
+    finally:
+        _ACTIVE.pop()

@@ -1,0 +1,88 @@
+"""Exporters: Prometheus text exposition, JSON snapshots, human trace views.
+
+Every exporter works from the *snapshot* form (plain dicts) so a registry
+deserialized from a ``BENCH_<experiment>.json`` artifact renders exactly
+like a live one — ``repro stats --from artifact.json`` and an in-process
+registry share this code path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import TraceEvent, Tracer
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def snapshot_to_prometheus(snapshot: Dict[str, object], prefix: str = "repro") -> str:
+    """Render a registry snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        full = f"{prefix}_{name}"
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {_fmt_value(float(value))}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        full = f"{prefix}_{name}"
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {_fmt_value(float(value))}")
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        full = f"{prefix}_{name}"
+        lines.append(f"# TYPE {full} histogram")
+        running = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            running += count
+            lines.append(f'{full}_bucket{{le="{_fmt_value(float(bound))}"}} {running}')
+        total = running + data["counts"][len(data["buckets"])]
+        lines.append(f'{full}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{full}_sum {_fmt_value(float(data['sum']))}")
+        lines.append(f"{full}_count {total}")
+    return "\n".join(lines) + "\n"
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    return snapshot_to_prometheus(registry.snapshot(), prefix=prefix)
+
+
+def to_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def _fmt_attrs(attrs: Dict[str, object]) -> str:
+    return " ".join(f"{k}={v}" for k, v in attrs.items())
+
+
+def render_trace(
+    tracer: Tracer,
+    limit: Optional[int] = None,
+    events: Optional[Sequence[TraceEvent]] = None,
+) -> str:
+    """A human timeline: relative ms, indented by span depth.
+
+    Spans are recorded at exit, so the buffer is already in end-time order;
+    indentation (two spaces per depth) restores the nesting visually.
+    """
+    rows = list(events) if events is not None else tracer.events()
+    if limit is not None:
+        rows = rows[-limit:]
+    if not rows:
+        return "(no trace events recorded)\n"
+    t0 = min(event.t_ns for event in rows)
+    lines = []
+    for event in rows:
+        rel_ms = (event.t_ns - t0) / 1e6
+        indent = "  " * event.depth
+        dur = f" [{event.dur_ns / 1e6:.3f} ms]" if event.dur_ns is not None else ""
+        attrs = f"  {_fmt_attrs(event.attrs)}" if event.attrs else ""
+        lines.append(f"{rel_ms:10.3f} ms  {indent}{event.name}{dur}{attrs}")
+    if tracer is not None and tracer.dropped:
+        lines.append(f"({tracer.dropped} earlier events dropped by the ring buffer)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,148 @@
+"""Ring-buffered structured event tracing.
+
+A :class:`Tracer` records :class:`TraceEvent` rows — point events and spans
+(begin/end with duration) — into a bounded ring so long runs cannot grow
+memory without bound. Span nesting mirrors
+:meth:`repro.storage.costmodel.Meter.bucket`: a flush cycle is a span, the
+KL-sort inside it is a deeper span, Bloom skips inside a lookup are point
+events at the current depth.
+
+Disabled tracing (the default) must cost nothing measurable on hot paths:
+``event`` returns after one attribute test, and ``span`` hands back a shared
+no-op context manager instead of allocating anything.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One traced occurrence; ``dur_ns`` is None for point events."""
+
+    name: str
+    t_ns: int
+    depth: int
+    dur_ns: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"name": self.name, "t_ns": self.t_ns, "depth": self.depth}
+        if self.dur_ns is not None:
+            out["dur_ns"] = self.dur_ns
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: records its duration and attributes on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._clock()
+        self._tracer._depth += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        tracer = self._tracer
+        tracer._depth -= 1
+        now = tracer._clock()
+        tracer._record(
+            TraceEvent(
+                name=self.name,
+                t_ns=self._start,
+                depth=tracer._depth,
+                dur_ns=now - self._start,
+                attrs=self.attrs,
+            )
+        )
+
+
+class Tracer:
+    """See module docstring."""
+
+    def __init__(self, capacity: int = 8192, enabled: bool = False, clock=None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._clock = clock if clock is not None else time.perf_counter_ns
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._depth = 0
+        self.dropped = 0
+        self.recorded = 0
+
+    # -- control -----------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+        self.recorded = 0
+        self._depth = 0
+
+    # -- recording ---------------------------------------------------------
+    def _record(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        self.recorded += 1
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self._record(
+            TraceEvent(name=name, t_ns=self._clock(), depth=self._depth, attrs=attrs)
+        )
+
+    def span(self, name: str, **attrs):
+        """A context manager timing a phase; nests like ``Meter.bucket``."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, attrs)
+
+    # -- reading -----------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import BufferpoolFullError
+from repro.obs import NULL_OBS, Observability, current_obs
 from repro.storage.costmodel import NULL_METER, Meter
 
 
@@ -56,17 +57,25 @@ class BufferPool:
         Cost meter charged with ``disk_read`` / ``disk_write``.
     """
 
-    def __init__(self, capacity: Optional[int] = None, meter: Optional[Meter] = None):
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        meter: Optional[Meter] = None,
+        obs: Optional[Observability] = None,
+    ):
         if capacity is not None and capacity < 0:
             raise ValueError("capacity must be >= 0 or None")
         self.capacity = capacity or None
         self.meter = meter if meter is not None else NULL_METER
+        self.obs = obs if obs is not None else current_obs()
         self._frames: "OrderedDict[int, Frame]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.disk_reads = 0
         self.disk_writes = 0
+        if self.obs is not NULL_OBS:
+            self.obs.register_collector("bufferpool", self.stats)
 
     # -- configuration ------------------------------------------------------
     def set_meter(self, meter: Meter) -> None:
@@ -147,6 +156,8 @@ class BufferPool:
                     self.meter.charge("disk_write")
                 del self._frames[page_id]
                 self.evictions += 1
+                if self.obs.enabled:
+                    self.obs.event("pool.evict", page=page_id, dirty=frame.dirty)
                 return
         raise BufferpoolFullError(
             f"all {len(self._frames)} frames are pinned; cannot evict"

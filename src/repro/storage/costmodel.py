@@ -124,6 +124,22 @@ class Meter:
         self.bucket_wall_ns.clear()
         self._bucket_stack.clear()
 
+    def merge(self, other: "Meter") -> "Meter":
+        """Fold ``other``'s counts, buckets and wall times into this meter.
+
+        Lets multi-phase runs aggregate per-phase meters without rebuilding
+        the index between phases; returns ``self`` for chaining.
+        """
+        for kind, count in other.counts.items():
+            self.counts[kind] += count
+        for name, counts in other.bucket_counts.items():
+            bucket = self.bucket_counts[name]
+            for kind, count in counts.items():
+                bucket[kind] += count
+        for name, wall in other.bucket_wall_ns.items():
+            self.bucket_wall_ns[name] += wall
+        return self
+
     def __getitem__(self, kind: str) -> float:
         return self.counts.get(kind, 0.0)
 

@@ -89,6 +89,45 @@ class TestMeter:
         meter.charge("x")
         assert snap["x"] == 1
 
+    def test_merge_adds_counts_and_buckets(self):
+        a = Meter()
+        with a.bucket("sort"):
+            a.charge("sort_comparison", 10)
+        a.charge("node_access", 3)
+        b = Meter()
+        with b.bucket("sort"):
+            b.charge("sort_comparison", 5)
+        with b.bucket("bulk_load"):
+            b.charge("bulk_entry", 7)
+        assert a.merge(b) is a
+        assert a["sort_comparison"] == 15
+        assert a["node_access"] == 3
+        assert a["bulk_entry"] == 7
+        assert a.bucket_counts["sort"]["sort_comparison"] == 15
+        assert a.bucket_counts["bulk_load"]["bulk_entry"] == 7
+        # The merged-from meter is untouched.
+        assert b["sort_comparison"] == 5
+
+    def test_merge_accumulates_wall_time(self):
+        a = Meter()
+        b = Meter()
+        with b.bucket("phase"):
+            sum(range(100))
+        wall = b.bucket_wall_ns["phase"]
+        a.merge(b)
+        a.merge(b)
+        assert a.bucket_wall_ns["phase"] == 2 * wall
+
+    def test_merge_then_reset_supports_multi_phase_aggregation(self):
+        total = Meter()
+        phase = Meter()
+        for _ in range(3):
+            phase.charge("node_access", 2)
+            total.merge(phase)
+            phase.reset()
+        assert total["node_access"] == 6
+        assert phase["node_access"] == 0
+
 
 class TestNullMeter:
     def test_discards_everything(self):
