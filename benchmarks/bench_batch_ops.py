@@ -1,0 +1,22 @@
+"""Batch-operation throughput bench (per-op replay vs batch entry points).
+
+Regenerates the numbers behind ``results/BENCH_batch_ops.json`` — the
+artifact the CI perf gate compares against. ``python -m repro bench-batch
+--json results/BENCH_batch_ops.json`` produces the committed baseline;
+this pytest wrapper runs the same experiment at a REPRO_SCALE-able size
+and sanity-checks that the batch paths actually outrun the per-op loop.
+"""
+
+from repro.bench.experiments import batch_ops
+
+N = 50_000
+
+
+def test_batch_ops(run_experiment):
+    result = run_experiment("batch_ops", batch_ops.run, n=N)
+    # The wall-clock margin is machine-dependent; just require that the
+    # batch paths are not slower than per-op replay on the raw tree.
+    assert result.speedups["btree"] > 1.0
+    assert result.speedups["sa_btree"] > 1.0
+    for gauge, value in result.throughputs.items():
+        assert value > 0, gauge

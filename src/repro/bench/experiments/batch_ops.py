@@ -1,0 +1,189 @@
+"""Batch-operation throughput: per-op API loop vs first-class batch calls.
+
+Not a paper figure — this measures the repo's own batch fast path
+(``put_many``/``get_many``/``insert_many``) against the per-op loop on the
+same workload, in *wall-clock* time. Batching amortizes interpreter
+dispatch, hashing, and tree descents — not simulated I/O — so unlike the
+figure experiments the interesting number here is real time.
+
+Both modes call the index API directly (``index.insert(k, v)`` in a loop
+vs ``index.insert_many(chunk)`` per chunk): no operation-stream dispatch
+layer on either side, so the ratio isolates what the batch entry points
+buy. Stream replay with batching is covered separately by
+``run_phases(..., batch_size=N)``.
+
+Measured configurations:
+
+* ``btree`` — the raw in-memory B+-tree (``insert_many``/``get_many``
+  against a per-key loop); this is the pair the CI perf gate tracks.
+* ``sa_btree`` — the SWARE index over that B+-tree
+  (``put_many``/``get_many``), where batching also amortizes per-key
+  Bloom/zonemap upkeep in the buffer.
+
+Both run insert-all then lookup-all phases. Throughputs are published as
+``batch_ops_*_ops_per_s`` gauges so they flow into the
+``BENCH_batch_ops.json`` telemetry artifact, where
+:mod:`repro.bench.perfgate` compares them against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.bench.experiments import common
+from repro.bench.report import format_table
+from repro.bench.runner import PhaseResult, RunResult
+from repro.core.sware import SortednessAwareIndex
+from repro.obs import current_obs
+from repro.storage.costmodel import CostModel, Meter
+from repro.workloads.spec import value_for
+
+
+@dataclass
+class BatchOpsResult:
+    report: str
+    #: gauge name -> operations per second (wall clock)
+    throughputs: Dict[str, float]
+    #: config -> batched/per-op speedup (total over both phases)
+    speedups: Dict[str, float]
+    runs: List[RunResult] = field(default_factory=list)
+
+
+def _ops_per_s(n_ops: int, wall_ns: float) -> float:
+    return n_ops / wall_ns * 1e9 if wall_ns else 0.0
+
+
+def _measure(factory, items, lookup_keys, batch, label, model) -> RunResult:
+    """One full run (insert phase then lookup phase) at the API level."""
+    meter = Meter()
+    index = factory(meter)
+    batched = batch is not None
+    result = RunResult(label=label)
+    clock = time.perf_counter_ns
+
+    before = meter.nanos(model)
+    start = clock()
+    if batched:
+        put_many = getattr(index, "put_many", None) or index.insert_many
+        for i in range(0, len(items), batch):
+            put_many(items[i : i + batch])
+    else:
+        insert = index.insert
+        for key, value in items:
+            insert(key, value)
+    wall = clock() - start
+    sim = meter.nanos(model) - before
+    result.phases.append(
+        PhaseResult(name="insert", n_ops=len(items), sim_ns=sim, wall_ns=wall)
+    )
+
+    before = meter.nanos(model)
+    start = clock()
+    if batched:
+        get_many = index.get_many
+        for i in range(0, len(lookup_keys), batch):
+            get_many(lookup_keys[i : i + batch])
+    else:
+        get = index.get
+        for key in lookup_keys:
+            get(key)
+    wall = clock() - start
+    sim = meter.nanos(model) - before
+    result.phases.append(
+        PhaseResult(name="lookup", n_ops=len(lookup_keys), sim_ns=sim, wall_ns=wall)
+    )
+
+    result.bucket_sim_ns = meter.bucket_nanos(model)
+    result.counts = meter.snapshot()
+    if isinstance(index, SortednessAwareIndex):
+        result.sware_stats = index.stats.snapshot()
+    return result
+
+
+def run(
+    n: int = 100_000,
+    batch: int = 8192,
+    k_fraction: float = 0.10,
+    l_fraction: float = 0.05,
+    buffer_fraction: float = 0.01,
+    repeats: int = 3,
+    seed: int = 7,
+) -> BatchOpsResult:
+    n = common.scaled(n)
+    keys = common.keys_for(n, k_fraction, l_fraction, seed=seed)
+    items = [(key, value_for(key)) for key in keys]
+    lookup_keys = list(keys)
+    random.Random(seed + 101).shuffle(lookup_keys)
+    model = CostModel()
+
+    configs = [
+        ("btree", common.baseline_btree_factory()),
+        ("sa_btree", common.sa_btree_factory(common.buffer_config(n, buffer_fraction))),
+    ]
+
+    obs = current_obs()
+    throughputs: Dict[str, float] = {}
+    speedups: Dict[str, float] = {}
+    runs: List[RunResult] = []
+    rows = []
+    # Per-phase best of ``repeats`` identical runs: throughput is a
+    # property of the code, the slow samples measure whatever else the
+    # machine was doing (this box may have a single core).
+    best_walls: Dict[str, Dict[str, float]] = {}
+    for name, factory in configs:
+        for mode, batch_size in (("perop", None), ("batched", batch)):
+            label = f"{name}_{mode}"
+            samples = [
+                _measure(factory, items, lookup_keys, batch_size, label, model)
+                for _ in range(max(1, repeats))
+            ]
+            result = min(samples, key=lambda r: r.wall_ns)
+            runs.append(result)
+            obs.record_run(result.to_dict())
+            best_walls[label] = {
+                phase.name: min(s.phase(phase.name).wall_ns for s in samples)
+                for phase in result.phases
+            }
+            for phase in result.phases:
+                wall = best_walls[label][phase.name]
+                gauge = f"batch_ops_{label}_{phase.name}_ops_per_s"
+                throughputs[gauge] = _ops_per_s(phase.n_ops, wall)
+                rows.append(
+                    [
+                        label,
+                        phase.name,
+                        f"{phase.n_ops:,}",
+                        f"{wall / 1e6:.1f}",
+                        f"{throughputs[gauge] / 1e3:.0f}",
+                    ]
+                )
+            gauge = f"batch_ops_{label}_total_ops_per_s"
+            throughputs[gauge] = _ops_per_s(
+                result.n_ops, sum(best_walls[label].values())
+            )
+        perop_wall = sum(best_walls[f"{name}_perop"].values())
+        batched_wall = sum(best_walls[f"{name}_batched"].values())
+        speedups[name] = perop_wall / batched_wall if batched_wall else float("inf")
+
+    for gauge, value in throughputs.items():
+        obs.gauge(gauge, value)
+    for name, value in speedups.items():
+        obs.gauge(f"batch_ops_{name}_speedup_x", value)
+
+    table = format_table(["config", "phase", "ops", "wall ms", "kops/s"], rows)
+    lines = [
+        f"Batch-operation throughput (n={n:,}, batch={batch}, "
+        f"K={k_fraction:.0%}, L={l_fraction:.0%})",
+        "",
+        table,
+        "",
+    ]
+    for name, value in speedups.items():
+        lines.append(f"{name}: batched is {value:.2f}x the per-op loop")
+    report = "\n".join(lines)
+    return BatchOpsResult(
+        report=report, throughputs=throughputs, speedups=speedups, runs=runs
+    )

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import BulkLoadError, ConfigError, InvariantViolation
@@ -164,6 +165,25 @@ class BPlusTree:
         self._tail_path = path
         self._tail_leaf = node
 
+    def _descend_to_leaf_bounded(
+        self, key: int, dirty: bool = False
+    ) -> Tuple[LeafNode, List[InternalNode], Optional[int]]:
+        """Like :meth:`_descend_to_leaf`, also returning the leaf's upper
+        separator (``None`` on the right-most path) so batch walks know how
+        long the current leaf stays valid for ascending keys."""
+        node = self._root
+        path: List[InternalNode] = []
+        hi: Optional[int] = None
+        while not node.is_leaf:
+            self._touch(node)
+            path.append(node)
+            idx = bisect_right(node.keys, key)
+            if idx < len(node.keys):
+                hi = node.keys[idx]
+            node = node.children[idx]
+        self._touch(node, dirty=dirty)
+        return node, path, hi
+
     # ------------------------------------------------------------------
     # inserts
     # ------------------------------------------------------------------
@@ -200,6 +220,73 @@ class BPlusTree:
         if len(leaf.keys) > self.config.leaf_capacity:
             self._split_leaf(leaf, path)
         return True
+
+    def insert_many(self, items: Sequence[Tuple[int, object]]) -> int:
+        """Batch upsert with sort-then-walk amortization; returns the number
+        of new entries created.
+
+        The batch is stable-sorted by key (later duplicates win, matching a
+        sequential loop of upserts) and applied with one leaf descent per run
+        of keys landing in the same leaf. A batch that is strictly increasing
+        and entirely above ``max_key`` — the common case under sorted
+        ingestion — short-circuits into :meth:`bulk_load_append`. After a
+        split the cached descent is discarded, so correctness never depends
+        on patched-up paths; the re-descent costs one extra walk per split.
+        """
+        if not items:
+            return 0
+        batch = sorted(items, key=itemgetter(0))
+        first_key = batch[0][0]
+        if self._max_key is None or first_key > self._max_key:
+            strictly_increasing = all(
+                batch[i - 1][0] < batch[i][0] for i in range(1, len(batch))
+            )
+            if strictly_increasing:
+                before = self.n_entries
+                self.bulk_load_append(batch)
+                return self.n_entries - before
+        self._ensure_root()
+        nb = len(batch)
+        self.top_inserts += nb
+        created = 0
+        entry_moves = 0
+        leaf_capacity = self.config.leaf_capacity
+        i = 0
+        while i < nb:
+            key, value = batch[i]
+            leaf, path, hi = self._descend_to_leaf_bounded(key, dirty=True)
+            lkeys = leaf.keys
+            lvalues = leaf.values
+            # Inner loop: drain the run of keys belonging to this leaf with
+            # all hot locals bound once; any split invalidates the cached
+            # descent, so it breaks out to re-descend.
+            while True:
+                idx = bisect_left(lkeys, key)
+                if idx < len(lkeys) and lkeys[idx] == key:
+                    lvalues[idx] = value
+                else:
+                    lkeys.insert(idx, key)
+                    lvalues.insert(idx, value)
+                    entry_moves += len(lkeys) - idx
+                    created += 1
+                    if len(lkeys) > leaf_capacity:
+                        self._split_leaf(leaf, path)
+                        i += 1
+                        break
+                i += 1
+                if i >= nb:
+                    break
+                key, value = batch[i]
+                if hi is not None and key >= hi:
+                    break
+        self.meter.charge("entry_move", entry_moves)
+        self.n_entries += created
+        last_key = batch[-1][0]
+        if self._max_key is None or last_key > self._max_key:
+            self._max_key = last_key
+        if self._min_key is None or first_key < self._min_key:
+            self._min_key = first_key
+        return created
 
     def _split_point(self, total: int, capacity: int) -> int:
         point = round(total * self.config.split_factor)
@@ -359,6 +446,134 @@ class BPlusTree:
         if idx < len(leaf.keys) and leaf.keys[idx] == key:
             return leaf.values[idx]
         return None
+
+    def get_many(self, keys: Sequence[int]) -> List[Optional[object]]:
+        """Batch point lookups, one value-or-``None`` per key in input order.
+
+        Distinct keys are resolved in sorted order by one of two strategies,
+        picked by batch density:
+
+        * **dense** (at least ~one key per leaf): descend once to the
+          left-most queried key, then merge the sorted batch along the
+          ``next_leaf`` chain — per key only the in-leaf bisect remains, and
+          the chain advance costs O(leaves spanned) for the whole batch;
+        * **sparse**: partition the sorted batch across children at each
+          internal node (a bisect per child actually entered), visiting only
+          nodes on the union of root-to-leaf paths.
+
+        Either way each visited node is touched — and charged — exactly
+        once per batch instead of once per key; without a pool the charges
+        are aggregated into a single meter call (with a pool each node is
+        touched individually to keep eviction order honest).
+        """
+        n = len(keys)
+        if self._root is None or n == 0:
+            return [None] * n
+        skeys = sorted(set(keys))
+        m = len(skeys)
+        found: dict = {}
+        pool = self.pool
+        touch = self._touch
+        root = self._root
+
+        if not root.is_leaf and m >= self.leaf_count:
+            # Dense: merge along the leaf chain.
+            leaf, _path = self._descend_to_leaf(skeys[0])
+            i = 0
+            extra_visits = 0
+            while leaf is not None:
+                nkeys = leaf.keys
+                if nkeys:
+                    last = nkeys[-1]
+                    width = len(nkeys)
+                    values = leaf.values
+                    while i < m:
+                        key = skeys[i]
+                        if key > last:
+                            break
+                        idx = bisect_left(nkeys, key)
+                        if idx < width and nkeys[idx] == key:
+                            found[key] = values[idx]
+                        i += 1
+                    if i >= m:
+                        break
+                leaf = leaf.next_leaf
+                if leaf is None:
+                    break
+                if pool is not None:
+                    touch(leaf)
+                else:
+                    extra_visits += 1
+            if pool is None and extra_visits:
+                self.meter.charge("node_access", extra_visits)
+            return [found.get(key) for key in keys]
+
+        node_visits = 0
+
+        def resolve_leaf(leaf: LeafNode, lo: int, hi: int) -> None:
+            nkeys = leaf.keys
+            width = len(nkeys)
+            nvalues = leaf.values
+            for t in range(lo, hi):
+                key = skeys[t]
+                idx = bisect_left(nkeys, key)
+                if idx < width and nkeys[idx] == key:
+                    found[key] = nvalues[idx]
+
+        if root.is_leaf:
+            node_visits += 1
+            if pool is not None:
+                touch(root)
+            resolve_leaf(root, 0, m)
+        else:
+            stack = [(root, 0, m)]
+            while stack:
+                node, lo, hi = stack.pop()
+                node_visits += 1
+                if pool is not None:
+                    touch(node)
+                seps = node.keys
+                children = node.children
+                n_seps = len(seps)
+                if children[0].is_leaf:
+                    # Resolve leaf children inline — most segments hold one
+                    # key, so stack round-trips would dominate.
+                    i = lo
+                    while i < hi:
+                        key = skeys[i]
+                        child_idx = bisect_right(seps, key)
+                        j = i + 1
+                        if child_idx < n_seps:
+                            sep = seps[child_idx]
+                            if j < hi and skeys[j] < sep:
+                                j = bisect_left(skeys, sep, j, hi)
+                        else:
+                            j = hi
+                        leaf = children[child_idx]
+                        node_visits += 1
+                        if pool is not None:
+                            touch(leaf)
+                        nkeys = leaf.keys
+                        if j - i == 1:
+                            idx = bisect_left(nkeys, key)
+                            if idx < len(nkeys) and nkeys[idx] == key:
+                                found[key] = leaf.values[idx]
+                        else:
+                            resolve_leaf(leaf, i, j)
+                        i = j
+                else:
+                    i = lo
+                    while i < hi:
+                        child_idx = bisect_right(seps, skeys[i])
+                        if child_idx < n_seps:
+                            j = bisect_left(skeys, seps[child_idx], i, hi)
+                        else:
+                            j = hi
+                        stack.append((children[child_idx], i, j))
+                        i = j
+        if pool is None:
+            self.meter.charge("node_access", node_visits)
+        return [found.get(key) for key in keys]
 
     def __contains__(self, key: int) -> bool:
         return self.get(key) is not None

@@ -16,6 +16,14 @@ Commands
     ``repro.obs`` and a schema-valid ``BENCH_<name>.json`` telemetry
     artifact (per-phase sim/wall ns, counters, latency percentiles) is
     written to PATH and to the results directory.
+``bench-batch``
+    Run the batch-operation throughput bench (per-op replay vs the batch
+    entry points) and, with ``--json``, write its ``BENCH_batch_ops.json``
+    telemetry artifact — the numbers the CI perf gate tracks.
+``perf-gate``
+    Compare the throughput gauges of two bench artifacts (committed
+    baseline vs fresh run); exits non-zero on regressions beyond the
+    tolerance.
 ``stats``
     Run an instrumented workload (or load a ``--from`` artifact) and render
     the metrics registry in Prometheus text exposition format.
@@ -51,6 +59,7 @@ EXPERIMENTS = [
     "zonemap_ablation",
     "space",
     "lsm_sortedness",
+    "batch_ops",
 ]
 
 
@@ -89,6 +98,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="observe the run and write the BENCH_<name>.json telemetry artifact",
+    )
+
+    bench = sub.add_parser(
+        "bench-batch", help="batch-operation throughput bench (perf-gate numbers)"
+    )
+    bench.add_argument("--n", type=int, default=None, help="override workload size")
+    bench.add_argument("--batch", type=int, default=None, help="override batch size")
+    bench.add_argument(
+        "--repeats", type=int, default=None, help="best-of repeats per config"
+    )
+    bench.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="observe the run and write the BENCH_batch_ops.json telemetry artifact",
+    )
+
+    gate = sub.add_parser(
+        "perf-gate", help="compare throughput gauges of two bench artifacts"
+    )
+    gate.add_argument("baseline", help="committed baseline BENCH_*.json")
+    gate.add_argument("current", help="freshly measured BENCH_*.json")
+    gate.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="allowed slowdown factor (default 2.0)",
     )
 
     stats = sub.add_parser(
@@ -192,12 +229,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    module = importlib.import_module(f"repro.bench.experiments.{args.name}")
-    kwargs = {}
-    if args.n is not None:
-        kwargs["n"] = args.n
-    if args.json is None:
+def _run_experiment_with_telemetry(
+    name: str, kwargs: dict, json_path: Optional[str]
+) -> int:
+    """Run an experiment module, optionally writing its bench artifact."""
+    module = importlib.import_module(f"repro.bench.experiments.{name}")
+    if json_path is None:
         result = module.run(**kwargs)
         print(result.report)
         return 0
@@ -215,16 +252,56 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     with observe(obs):
         result = module.run(**kwargs)
     print(result.report)
-    doc = build_bench_artifact(args.name, obs)
+    doc = build_bench_artifact(name, obs)
     errors = validate_bench_artifact(doc)
     if errors:  # pragma: no cover - a bug, not an input error
         for error in errors:
             print(f"invalid bench artifact: {error}", file=sys.stderr)
         return 1
-    save_bench_artifact(doc, Path(args.json))
+    save_bench_artifact(doc, Path(json_path))
     default_path = save_bench_artifact(doc)
-    print(f"wrote telemetry to {args.json} and {default_path}", file=sys.stderr)
+    print(f"wrote telemetry to {json_path} and {default_path}", file=sys.stderr)
     return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    return _run_experiment_with_telemetry(args.name, kwargs, args.json)
+
+
+def _cmd_bench_batch(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    if args.batch is not None:
+        kwargs["batch"] = args.batch
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    return _run_experiment_with_telemetry("batch_ops", kwargs, args.json)
+
+
+def _cmd_perf_gate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.perfgate import compare_throughputs, format_gate_report
+
+    docs = []
+    for path in (args.baseline, args.current):
+        try:
+            with open(path) as handle:
+                docs.append(json.load(handle))
+        except OSError as exc:
+            print(f"cannot read {path}: {exc.strerror}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"{path} is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+    baseline, current = docs
+    failures = compare_throughputs(baseline, current, tolerance=args.tolerance)
+    print(format_gate_report(baseline, current, failures, args.tolerance))
+    return 1 if failures else 0
 
 
 def _run_observed_demo(args: argparse.Namespace, obs) -> None:
@@ -289,6 +366,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "measure": _cmd_measure,
         "demo": _cmd_demo,
         "experiment": _cmd_experiment,
+        "bench-batch": _cmd_bench_batch,
+        "perf-gate": _cmd_perf_gate,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
     }[args.command]

@@ -43,7 +43,7 @@ from repro.core.config import SWAREConfig
 from repro.core.stats import SWAREStats
 from repro.core.zonemap import PageZonemaps, Zonemap
 from repro.filters.bloom import BloomFilter
-from repro.filters.hashing import SharedHash
+from repro.filters.hashing import SharedHash, shared_bases
 from repro.search.interpolation import interpolation_search
 from repro.sortedness.klsort import kl_sort
 from repro.sortedness.metrics import RunningSortednessEstimate
@@ -190,14 +190,21 @@ class SWAREBuffer:
         position = len(self._tail)
         self._tail.append(entry)
         self._tail_sorted_cache = None
+        # The page-Zonemap update is upkeep already priced into
+        # ``buffer_append`` (like the whole-buffer Zonemap above); charging a
+        # ``zonemap_check`` here would double-bill relative to the in-order
+        # path, which maintains the same aggregates for free.
         self.page_zonemaps.observe(position, key)
-        self.meter.charge("zonemap_check")
         if self._min_after_main is None or key < self._min_after_main:
             self._min_after_main = key
         cfg = self.config
-        shared: Optional[SharedHash] = None
+        # One shared base hash feeds both filter levels (hash sharing).
+        shared: Optional[SharedHash] = (
+            SharedHash(key, cfg.hash_family)
+            if self.global_bf is not None or cfg.enable_page_bf
+            else None
+        )
         if self.global_bf is not None:
-            shared = SharedHash(key, cfg.hash_family)
             self.global_bf.add_shared(shared)
             self.meter.charge("bf_add")
         if cfg.enable_page_bf:
@@ -211,10 +218,96 @@ class SWAREBuffer:
                         rotation=17,
                     )
                 )
-            if shared is None:
-                shared = SharedHash(key, cfg.hash_family)
             self._page_bfs[page].add_shared(shared)
             self.meter.charge("bf_add")
+
+    def add_many(self, pairs: Sequence[Tuple[int, object]]) -> None:
+        """Append a chunk of ``(key, value)`` upserts in arrival order.
+
+        Observably identical to calling :meth:`add` per pair — same entries,
+        ``seq`` numbering, component layout, Zonemap/Bloom state and meter
+        charges — but amortized: one sortedness check partitions the chunk
+        into an in-order prefix (extends the main section directly) and a
+        tail remainder, which pays a single ``_tail_sorted_cache``
+        invalidation, per-page min/max Zonemap passes, one batch of shared
+        base hashes feeding both Bloom levels, and word-level filter updates.
+
+        The caller is responsible for capacity: like :meth:`add`, this does
+        not flush — :class:`~repro.core.sware.SortednessAwareIndex.put_many`
+        chunks its input by the remaining capacity so flush boundaries match
+        the sequential path exactly.
+        """
+        n = len(pairs)
+        if n == 0:
+            return
+        self.meter.charge("buffer_append", n)
+        keys = [key for key, _value in pairs]
+        observe = self.kl_estimate.observe
+        for key in keys:
+            observe(key)
+        self.zonemap.update(min(keys))
+        self.zonemap.update(max(keys))
+
+        seq = self._seq
+        split = 0
+        if not self._blocks and not self._tail:
+            # One pass finds the longest prefix that continues the in-order
+            # run of the main section; everything after it starts the tail.
+            last = self._main_keys[-1] if self._main_keys else None
+            while split < n and (last is None or keys[split] >= last):
+                last = keys[split]
+                split += 1
+            if split:
+                main = self._main
+                for key, value in pairs[:split]:
+                    seq += 1
+                    main.append((key, seq, value, False))
+                self._main_keys.extend(keys[:split])
+
+        if split < n:
+            rest_keys = keys[split:]
+            start = len(self._tail)
+            tail = self._tail
+            for key, value in pairs[split:]:
+                seq += 1
+                tail.append((key, seq, value, False))
+            self._tail_sorted_cache = None
+            self.page_zonemaps.observe_many(start, rest_keys)
+            lowest = min(rest_keys)
+            if self._min_after_main is None or lowest < self._min_after_main:
+                self._min_after_main = lowest
+            cfg = self.config
+            bases = (
+                shared_bases(rest_keys, cfg.hash_family)
+                if self.global_bf is not None or cfg.enable_page_bf
+                else None
+            )
+            if self.global_bf is not None:
+                self.global_bf.add_many(rest_keys, bases=bases)
+                self.meter.charge("bf_add", len(rest_keys))
+            if cfg.enable_page_bf:
+                page_size = cfg.page_size
+                idx = 0
+                total = len(rest_keys)
+                while idx < total:
+                    position = start + idx
+                    page = position // page_size
+                    take = min(total - idx, (page + 1) * page_size - position)
+                    while len(self._page_bfs) <= page:
+                        self._page_bfs.append(
+                            BloomFilter(
+                                page_size,
+                                cfg.bits_per_entry,
+                                cfg.hash_family,
+                                rotation=17,
+                            )
+                        )
+                    self._page_bfs[page].add_many(
+                        rest_keys[idx : idx + take], bases=bases[idx : idx + take]
+                    )
+                    self.meter.charge("bf_add", take)
+                    idx += take
+        self._seq = seq
 
     # ------------------------------------------------------------------
     # flushing

@@ -20,7 +20,7 @@ Values must not be ``None`` — the library reserves ``None`` for "absent".
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List, Optional, Protocol, Tuple, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.core.buffer import HIT, TOMBSTONE, Entry, FlushBatch, SWAREBuffer
 from repro.core.config import SWAREConfig
@@ -86,6 +86,33 @@ class SortednessAwareIndex:
         self.buffer.add(key, value)
         if self.buffer.is_full:
             self._flush_cycle()
+
+    def put_many(self, items: Sequence[Tuple[int, object]]) -> None:
+        """Buffer a batch of upserts; observably identical to a loop of
+        :meth:`insert` (same flush boundaries, stats, meter charges) but
+        amortized through :meth:`SWAREBuffer.add_many`.
+
+        The batch is chunked by the buffer's remaining capacity, so a flush
+        cycle triggers exactly where the sequential loop would have filled
+        the buffer.
+        """
+        n = len(items)
+        for _key, value in items:
+            if value is None:
+                raise ValueError("None values are reserved for 'absent'")
+        buffer = self.buffer
+        i = 0
+        while i < n:
+            space = buffer.capacity - len(buffer)
+            if space <= 0:
+                self._flush_cycle()
+                continue
+            chunk = items[i : i + space]
+            self.stats.inserts += len(chunk)
+            buffer.add_many(chunk)
+            i += len(chunk)
+            if buffer.is_full:
+                self._flush_cycle()
 
     def delete(self, key: int) -> None:
         """Delete via a buffered tombstone or directly in the tree (§IV-D)."""
@@ -203,8 +230,75 @@ class SortednessAwareIndex:
             self.stats.tree_searches += 1
             return self.backend.get(key)
 
+    def get_many(self, keys: Sequence[int]) -> List[Optional[object]]:
+        """Batch point lookups along the same read path as :meth:`get`.
+
+        Returns one value (or ``None``) per input key, in input order. The
+        query-sort trigger is evaluated once — reads do not change the tail,
+        so the per-op check of the sequential loop is a constant after the
+        first lookup — and buffer misses are forwarded to the backend's
+        ``get_many`` (one leaf descent per run of keys sharing a leaf on the
+        B+-tree) when it has one.
+        """
+        n = len(keys)
+        self.stats.lookups += n
+        if self.buffer.should_query_sort():
+            with self.meter.bucket("sware_ops"):
+                self.buffer.query_sort()
+        results: List[Optional[object]] = [None] * n
+        miss_positions: List[int] = []
+        miss_keys: List[int] = []
+        stats = self.stats
+        lookup = self.buffer.lookup
+        with self.meter.bucket("buffer_search"):
+            for i, key in enumerate(keys):
+                state, value = lookup(key)
+                if state == HIT:
+                    stats.buffer_hits += 1
+                    results[i] = value
+                elif state == TOMBSTONE:
+                    stats.buffer_tombstone_hits += 1
+                else:
+                    miss_positions.append(i)
+                    miss_keys.append(key)
+        if miss_keys:
+            with self.meter.bucket("tree_search"):
+                self.meter.charge("zonemap_check", len(miss_keys))
+                tree_min, tree_max = self.backend.min_key, self.backend.max_key
+                if tree_min is not None:
+                    in_positions: List[int] = []
+                    in_keys: List[int] = []
+                    for i, key in zip(miss_positions, miss_keys):
+                        if tree_min <= key <= tree_max:
+                            in_positions.append(i)
+                            in_keys.append(key)
+                    stats.tree_searches += len(in_keys)
+                    batch_get = getattr(self.backend, "get_many", None)
+                    if batch_get is not None:
+                        for i, value in zip(in_positions, batch_get(in_keys)):
+                            results[i] = value
+                    else:
+                        get = self.backend.get
+                        for i, key in zip(in_positions, in_keys):
+                            results[i] = get(key)
+        return results
+
     def __contains__(self, key: int) -> bool:
         return self.get(key) is not None
+
+    def range_many(
+        self, ranges: Sequence[Tuple[int, int]]
+    ) -> List[List[Tuple[int, object]]]:
+        """Batch range queries: one result list per ``(lo, hi)`` pair.
+
+        The query-sort trigger fires at most once for the whole batch (reads
+        leave the tail untouched), then each range follows the sequential
+        :meth:`range_query` path.
+        """
+        if self.buffer.should_query_sort():
+            with self.meter.bucket("sware_ops"):
+                self.buffer.query_sort()
+        return [self.range_query(lo, hi) for lo, hi in ranges]
 
     def range_query(self, lo: int, hi: int) -> List[Tuple[int, object]]:
         """All live (key, value) in [lo, hi]; buffered versions win."""

@@ -12,7 +12,7 @@ The SWARE-buffer keeps min/max Zonemaps at three granularities (§IV-A/B):
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 class Zonemap:
@@ -80,6 +80,33 @@ class PageZonemaps:
         while len(self._zones) <= page:
             self._zones.append(Zonemap())
         self._zones[page].update(key)
+
+    def observe_many(self, start: int, keys: Sequence[int]) -> None:
+        """Record a contiguous append of ``keys`` beginning at ``start``.
+
+        Equivalent to calling :meth:`observe` position by position, but each
+        page absorbs its slice through one min/max pass.
+        """
+        page_size = self.page_size
+        zones = self._zones
+        idx = 0
+        n = len(keys)
+        position = start
+        while idx < n:
+            page = position // page_size
+            take = min(n - idx, (page + 1) * page_size - position)
+            while len(zones) <= page:
+                zones.append(Zonemap())
+            zone = zones[page]
+            chunk = keys[idx : idx + take]
+            lo = min(chunk)
+            hi = max(chunk)
+            if zone.min_key is None or lo < zone.min_key:
+                zone.min_key = lo
+            if zone.max_key is None or hi > zone.max_key:
+                zone.max_key = hi
+            idx += take
+            position += take
 
     def page_may_contain(self, page: int, key: int) -> bool:
         if page >= len(self._zones):

@@ -13,9 +13,19 @@ the buffer's capacity) and support ``clear()`` for reuse across flush cycles.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from repro.filters.hashing import SharedHash
+from repro.filters.hashing import SharedHash, rotate64, shared_bases
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _popcount(value: int) -> int:
+    """Set-bit count: ``int.bit_count`` on 3.10+, ``bin`` fallback on 3.9."""
+    try:
+        return value.bit_count()
+    except AttributeError:  # pragma: no cover - Python 3.9 only
+        return bin(value).count("1")
 
 
 def optimal_num_probes(bits_per_entry: float) -> int:
@@ -103,6 +113,73 @@ class BloomFilter:
                 return False
         return True
 
+    def add_many(self, keys: Sequence[int], bases: Optional[Sequence[int]] = None) -> None:
+        """Batch insert with one hash pass and word-level bit setting.
+
+        ``bases`` lets callers share one batch of base hashes across several
+        filters (the batch form of ``add_shared``). Probe positions are the
+        same Kirsch–Mitzenmacher sequence as :meth:`add`, so the resulting
+        bit pattern is identical to adding the keys one by one. Set bits are
+        accumulated per 64-bit word and folded into the byte array with one
+        read-OR-write per touched word instead of one poke per probe.
+        """
+        if not keys:
+            return
+        if bases is None:
+            bases = shared_bases(keys, self.hash_family)
+        rotation = self.rotation
+        n_bits = self.n_bits
+        n_probes = self.n_probes
+        words = {}
+        get = words.get
+        for base in bases:
+            if rotation:
+                base = rotate64(base, rotation)
+            h1 = base & _MASK32
+            h2 = (base >> 32) | 1
+            for i in range(n_probes):
+                pos = (h1 + i * h2) % n_bits
+                word = pos >> 6
+                words[word] = get(word, 0) | (1 << (pos & 63))
+        bits = self._bits
+        n_bytes = len(bits)
+        for word, mask in words.items():
+            start = word << 3
+            stop = min(start + 8, n_bytes)
+            width = stop - start
+            merged = int.from_bytes(bits[start:stop], "little") | mask
+            bits[start:stop] = merged.to_bytes(width, "little")
+        self.n_added += len(keys)
+
+    def may_contain_many(
+        self, keys: Sequence[int], bases: Optional[Sequence[int]] = None
+    ) -> List[bool]:
+        """Batch membership probes (one hash pass, early exit per key)."""
+        if not keys:
+            return []
+        if bases is None:
+            bases = shared_bases(keys, self.hash_family)
+        rotation = self.rotation
+        n_bits = self.n_bits
+        n_probes = self.n_probes
+        bits = self._bits
+        out: List[bool] = []
+        append = out.append
+        for base in bases:
+            if rotation:
+                base = rotate64(base, rotation)
+            h1 = base & _MASK32
+            h2 = (base >> 32) | 1
+            hit = True
+            for i in range(n_probes):
+                pos = (h1 + i * h2) % n_bits
+                if not bits[pos >> 3] & (1 << (pos & 7)):
+                    hit = False
+                    break
+            append(hit)
+        self.probe_count += len(keys)
+        return out
+
     def may_contain_shared(self, shared: SharedHash) -> bool:
         """Membership probe using a pre-computed shared hash."""
         self.probe_count += 1
@@ -115,15 +192,13 @@ class BloomFilter:
 
     def clear(self) -> None:
         """Reset to the empty filter (used after every buffer flush)."""
-        for i in range(len(self._bits)):
-            self._bits[i] = 0
+        self._bits = bytearray(len(self._bits))
         self.n_added = 0
 
     @property
     def saturation(self) -> float:
         """Fraction of bits set — a cheap health metric for tests."""
-        set_bits = sum(bin(b).count("1") for b in self._bits)
-        return set_bits / self.n_bits
+        return _popcount(int.from_bytes(self._bits, "little")) / self.n_bits
 
     def expected_fpr(self) -> float:
         """Theoretical false-positive rate at the current load."""

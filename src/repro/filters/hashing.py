@@ -99,6 +99,29 @@ def rotate64(value: int, bits: int) -> int:
     return ((value << bits) | (value >> (64 - bits))) & _MASK64
 
 
+def shared_bases(keys, family: str = "splitmix64", seed: int = 0):
+    """One 64-bit base hash per key — the batch form of hash sharing.
+
+    The returned integers are exactly the bases :class:`SharedHash` would
+    compute key by key, so batch and per-key Bloom paths set identical bits.
+    The splitmix64 family is inlined (no per-key object construction), which
+    is where batch ingestion recovers most of its hashing cost.
+    """
+    if family == "splitmix64":
+        offset = (seed * 0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15) & _MASK64
+        bases = []
+        append = bases.append
+        for key in keys:
+            z = (key + offset) & _MASK64
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+            append(z ^ (z >> 31))
+        return bases
+    if family == "murmur3":
+        return [murmur3_64(key, seed) for key in keys]
+    raise ValueError(f"unknown hash family: {family!r}")
+
+
 class SharedHash:
     """Hash sharing for multi-probe Bloom filters.
 
