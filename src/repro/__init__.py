@@ -21,6 +21,7 @@ paper-vs-measured record of every table and figure.
 from repro.betree import BeTree, BeTreeConfig
 from repro.btree import BPlusTree, BPlusTreeConfig
 from repro.core import (
+    ConcurrentSortednessAwareIndex,
     Recommendation,
     SWAREBuffer,
     SWAREConfig,
@@ -55,6 +56,7 @@ __all__ = [
     "SWAREConfig",
     "SWAREStats",
     "SortednessAwareIndex",
+    "ConcurrentSortednessAwareIndex",
     "TreeBackend",
     "make_baseline_betree",
     "make_baseline_btree",

@@ -20,6 +20,10 @@ Commands
     Run the batch-operation throughput bench (per-op replay vs the batch
     entry points) and, with ``--json``, write its ``BENCH_batch_ops.json``
     telemetry artifact — the numbers the CI perf gate tracks.
+``bench-concurrent``
+    Run the thread-safe front-end under N threads of mixed put/get/range
+    ops (invariants checked at exit) and, with ``--json``, write the
+    ``BENCH_concurrent.json`` telemetry artifact.
 ``perf-gate``
     Compare the throughput gauges of two bench artifacts (committed
     baseline vs fresh run); exits non-zero on regressions beyond the
@@ -60,6 +64,7 @@ EXPERIMENTS = [
     "space",
     "lsm_sortedness",
     "batch_ops",
+    "concurrent_ops",
 ]
 
 
@@ -114,6 +119,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="observe the run and write the BENCH_batch_ops.json telemetry artifact",
+    )
+
+    conc = sub.add_parser(
+        "bench-concurrent",
+        help="thread-safe front-end under N threads of mixed ops",
+    )
+    conc.add_argument("--n", type=int, default=None, help="override workload size")
+    conc.add_argument(
+        "--threads",
+        type=str,
+        default=None,
+        metavar="LIST",
+        help="comma-separated thread counts (default 1,2,4)",
+    )
+    conc.add_argument(
+        "--repeats", type=int, default=None, help="best-of repeats per config"
+    )
+    conc.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="observe the run and write the BENCH_concurrent.json telemetry artifact",
     )
 
     gate = sub.add_parser(
@@ -230,7 +258,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _run_experiment_with_telemetry(
-    name: str, kwargs: dict, json_path: Optional[str]
+    name: str,
+    kwargs: dict,
+    json_path: Optional[str],
+    artifact_name: Optional[str] = None,
 ) -> int:
     """Run an experiment module, optionally writing its bench artifact."""
     module = importlib.import_module(f"repro.bench.experiments.{name}")
@@ -252,7 +283,7 @@ def _run_experiment_with_telemetry(
     with observe(obs):
         result = module.run(**kwargs)
     print(result.report)
-    doc = build_bench_artifact(name, obs)
+    doc = build_bench_artifact(artifact_name or name, obs)
     errors = validate_bench_artifact(doc)
     if errors:  # pragma: no cover - a bug, not an input error
         for error in errors:
@@ -280,6 +311,21 @@ def _cmd_bench_batch(args: argparse.Namespace) -> int:
     if args.repeats is not None:
         kwargs["repeats"] = args.repeats
     return _run_experiment_with_telemetry("batch_ops", kwargs, args.json)
+
+
+def _cmd_bench_concurrent(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    if args.threads is not None:
+        kwargs["threads"] = tuple(
+            int(token) for token in args.threads.split(",") if token
+        )
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    return _run_experiment_with_telemetry(
+        "concurrent_ops", kwargs, args.json, artifact_name="concurrent"
+    )
 
 
 def _cmd_perf_gate(args: argparse.Namespace) -> int:
@@ -367,6 +413,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "experiment": _cmd_experiment,
         "bench-batch": _cmd_bench_batch,
+        "bench-concurrent": _cmd_bench_concurrent,
         "perf-gate": _cmd_perf_gate,
         "stats": _cmd_stats,
         "trace": _cmd_trace,

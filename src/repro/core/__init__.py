@@ -3,7 +3,9 @@
 from repro.core.advisor import Recommendation, recommend, recommend_for_sample
 from repro.core.buffer import HIT, MISS, TOMBSTONE, FlushBatch, SWAREBuffer
 from repro.core.concurrency import LockManager, SWARELockProtocol
+from repro.core.concurrent import ConcurrentSortednessAwareIndex
 from repro.core.config import SWAREConfig
+from repro.core.locks import BlockingLockManager, RWLock
 from repro.core.factory import (
     make_baseline_betree,
     make_baseline_btree,
@@ -20,6 +22,9 @@ __all__ = [
     "recommend_for_sample",
     "LockManager",
     "SWARELockProtocol",
+    "BlockingLockManager",
+    "RWLock",
+    "ConcurrentSortednessAwareIndex",
     "HIT",
     "MISS",
     "TOMBSTONE",

@@ -37,7 +37,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from heapq import merge as heap_merge
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import SWAREConfig
 from repro.core.stats import SWAREStats

@@ -129,9 +129,21 @@ class SWARELockProtocol:
         """
         if not 0 <= page < self.n_pages:
             raise ValueError(f"page {page} out of range")
-        self.locks.acquire(worker, BUFFER, EXCLUSIVE)
         if triggers_flush:
+            # A flush excludes *everything*, including appenders that
+            # already passed their own flush check and hold only a page
+            # lock — otherwise check_invariants' "no page locked during a
+            # flush" guarantee could never hold.
+            for other in range(self.n_pages):
+                holders = self.locks.holders(f"page:{other}")
+                if holders and holders != {worker}:
+                    raise LockConflict(
+                        f"{worker} cannot start a flush: page {other} is "
+                        f"held by {sorted(holders)}"
+                    )
+            self.locks.acquire(worker, BUFFER, EXCLUSIVE)
             return "flush"  # buffer-wide X held until finish_flush
+        self.locks.acquire(worker, BUFFER, EXCLUSIVE)
         self.locks.release(worker, BUFFER)
         self.locks.acquire(worker, f"page:{page}", EXCLUSIVE)
         return "append"
@@ -148,9 +160,22 @@ class SWARELockProtocol:
         self._readers.add(worker)
 
     def upgrade_for_query_sort(self, worker: str) -> None:
-        """Query-driven sorting upgrades the reader to exclusive."""
+        """Query-driven sorting upgrades the reader to exclusive.
+
+        The sort rewrites the unsorted tail, so it is flush-class: in-flight
+        appenders holding page locks must drain first (they always finish —
+        an appender never waits while holding its page — so refusing here
+        cannot deadlock).
+        """
         if worker not in self._readers:
             raise ReproError(f"{worker} is not an active reader")
+        for page in range(self.n_pages):
+            holders = self.locks.holders(f"page:{page}")
+            if holders and holders != {worker}:
+                raise LockConflict(
+                    f"{worker} cannot upgrade for query sort: page {page} "
+                    f"is held by {sorted(holders)}"
+                )
         self.locks.acquire(worker, BUFFER, EXCLUSIVE)
 
     def finish_query(self, worker: str) -> None:

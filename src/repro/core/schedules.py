@@ -1,0 +1,454 @@
+"""Deterministic schedule exploration for the §IV-D lock discipline.
+
+The blocking front-end (:mod:`repro.core.concurrent`) runs real threads,
+which makes interesting interleavings rare and unreproducible. This module
+replays *seeded* interleavings deterministically: each worker is a small
+state machine that advances through the lock-protocol phases of its next
+operation (acquire → materialize → release), a seeded scheduler picks
+which worker steps next, and every lock acquisition goes through the
+*virtual* :class:`~repro.core.concurrency.SWARELockProtocol` — a conflict
+blocks the worker (its phase is retried later with fresh state) exactly
+where a real thread would wait.
+
+The materialize phase applies the operation to a **real**
+:class:`~repro.core.sware.SortednessAwareIndex`, so a schedule exercises
+the same structure mutations the threads would perform, in the order the
+lock protocol admits them. Three families of checks run:
+
+* **protocol invariants** — ``SWARELockProtocol.check_invariants`` after
+  every step (no shared page writers, flush excludes everything);
+* **structural invariants** — buffer and backend ``check_invariants``
+  after every materialization;
+* **linearizability** — each operation commits at its materialize step
+  while its locks are held; a sequential oracle (a plain dict) replays the
+  commit order, every read is compared against the oracle at its commit
+  point, and the final drained index must equal the oracle exactly.
+
+Reader upgrades follow the front-end's discipline: the query-sort trigger
+is owned by the harness, an upgrade that keeps conflicting falls back to
+releasing the shared lock and re-acquiring exclusively (the timeout path
+of the blocking front-end, made deterministic as a retry budget).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.btree.btree import BPlusTree, BPlusTreeConfig
+from repro.core.concurrency import (
+    BUFFER,
+    EXCLUSIVE,
+    LockConflict,
+    SWARELockProtocol,
+)
+from repro.core.config import SWAREConfig
+from repro.core.sware import SortednessAwareIndex
+from repro.errors import ReproError
+
+#: Failed upgrade attempts before a reader falls back to release + X.
+UPGRADE_RETRY_BUDGET = 3
+
+#: Consecutive blocked scheduler picks before the schedule is declared
+#: deadlocked (a protocol bug — this many retries always make progress).
+_DEADLOCK_PATIENCE_FACTOR = 64
+
+Op = Tuple  # ("insert", key, value) | ("delete", key) | ("get", key) | ("range", lo, hi)
+
+
+class ScheduleViolation(ReproError, AssertionError):
+    """A schedule produced a non-linearizable result or stuck state."""
+
+
+@dataclass
+class ScheduleStats:
+    """What one seeded schedule did (returned by :func:`run_schedule`)."""
+
+    seed: int
+    steps: int = 0
+    commits: int = 0
+    conflicts: int = 0
+    flushes: int = 0
+    upgrades: int = 0
+    upgrade_fallbacks: int = 0
+    reads_checked: int = 0
+
+
+@dataclass
+class _Worker:
+    name: str
+    program: List[Op]
+    idx: int = 0
+    phase: str = "idle"
+    mode: Optional[str] = None  # "append" | "flush" | "direct"
+    page: int = 0
+    upgrade_failures: int = 0
+    holds_fallback_x: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.phase == "idle" and self.idx >= len(self.program)
+
+    @property
+    def op(self) -> Op:
+        return self.program[self.idx]
+
+
+def generate_programs(
+    seed: int,
+    n_workers: int = 3,
+    ops_per_worker: int = 12,
+    key_space: int = 64,
+) -> List[List[Op]]:
+    """Seeded mixed-op programs (inserts, lookups, ranges, deletes)."""
+    rng = random.Random(seed)
+    programs: List[List[Op]] = []
+    for worker in range(n_workers):
+        program: List[Op] = []
+        for _ in range(ops_per_worker):
+            roll = rng.random()
+            key = rng.randrange(key_space)
+            if roll < 0.55:
+                program.append(("insert", key, key * 10 + worker + 1))
+            elif roll < 0.80:
+                program.append(("get", key))
+            elif roll < 0.90:
+                lo = rng.randrange(key_space)
+                program.append(("range", lo, lo + rng.randrange(1, key_space // 4)))
+            else:
+                program.append(("delete", key))
+        programs.append(program)
+    return programs
+
+
+class ScheduleExplorer:
+    """Executes one seeded interleaving; see module docstring."""
+
+    def __init__(
+        self,
+        seed: int,
+        programs: Optional[List[List[Op]]] = None,
+        config: Optional[SWAREConfig] = None,
+        n_workers: int = 3,
+        ops_per_worker: int = 12,
+        key_space: int = 64,
+    ):
+        self.seed = seed
+        self.rng = random.Random(seed ^ 0x5EED)
+        self.config = config or SWAREConfig(
+            buffer_capacity=16, page_size=4, query_sorting_threshold=0.25
+        )
+        if programs is None:
+            programs = generate_programs(
+                seed, n_workers=n_workers, ops_per_worker=ops_per_worker,
+                key_space=key_space,
+            )
+        self.workers = [
+            _Worker(name=f"w{i}", program=program)
+            for i, program in enumerate(programs)
+        ]
+        self.protocol = SWARELockProtocol(n_pages=self.config.n_pages)
+        # Query sorting is triggered by the harness (after an upgrade),
+        # mirroring the blocking front-end; the inner index never fires
+        # its own trigger under a shared lock.
+        tree = BPlusTree(BPlusTreeConfig(leaf_capacity=16, internal_capacity=16))
+        self.index = SortednessAwareIndex(
+            tree, config=self.config.with_(query_sorting_threshold=1.0)
+        )
+        threshold = self.config.query_sorting_threshold
+        self._query_sort_trigger: Optional[int] = (
+            None
+            if threshold >= 1.0
+            else max(1, int(threshold * self.config.buffer_capacity))
+        )
+        self.oracle: Dict[int, object] = {}
+        self.stats = ScheduleStats(seed=seed)
+
+    # -- oracle ----------------------------------------------------------
+    def _commit_write(self, op: Op) -> None:
+        kind = op[0]
+        if kind == "insert":
+            self.oracle[op[1]] = op[2]
+        else:
+            self.oracle.pop(op[1], None)
+        self.stats.commits += 1
+
+    def _commit_read(self, op: Op, result: object) -> None:
+        kind = op[0]
+        if kind == "get":
+            expected = self.oracle.get(op[1])
+            if result != expected:
+                raise ScheduleViolation(
+                    f"seed {self.seed}: get({op[1]}) returned {result!r}, "
+                    f"oracle has {expected!r}"
+                )
+        else:
+            lo, hi = op[1], op[2]
+            expected_items = [
+                (key, self.oracle[key])
+                for key in sorted(self.oracle)
+                if lo <= key <= hi
+            ]
+            if result != expected_items:
+                raise ScheduleViolation(
+                    f"seed {self.seed}: range({lo}, {hi}) returned {result!r}, "
+                    f"oracle has {expected_items!r}"
+                )
+        self.stats.reads_checked += 1
+        self.stats.commits += 1
+
+    # -- one scheduler step ---------------------------------------------
+    def _should_query_sort(self) -> bool:
+        trigger = self._query_sort_trigger
+        return trigger is not None and self.index.buffer.tail_size >= trigger
+
+    def _pages_held_by_others(self, worker: str) -> bool:
+        for page in range(self.config.n_pages):
+            holders = self.protocol.locks.holders(f"page:{page}")
+            if holders and holders != {worker}:
+                return True
+        return False
+
+    def _step(self, w: _Worker) -> bool:
+        """Advance ``w`` one phase; returns False when it blocked."""
+        if w.phase == "idle":
+            return self._step_begin(w)
+        if w.phase == "write_apply":
+            return self._step_write_apply(w)
+        if w.phase == "read_locked":
+            return self._step_read_locked(w)
+        if w.phase == "read_reacquire_x":
+            return self._step_read_reacquire(w)
+        if w.phase == "read_apply":
+            return self._step_read_apply(w)
+        raise ReproError(f"unknown phase {w.phase!r}")  # pragma: no cover
+
+    def _step_begin(self, w: _Worker) -> bool:
+        op = w.op
+        kind = op[0]
+        buffer = self.index.buffer
+        if kind in ("insert", "delete"):
+            tombstone = kind == "delete"
+            if tombstone and (
+                buffer.is_empty or not buffer.zonemap.may_contain(op[1])
+            ):
+                # Direct tree delete: flush-class exclusion (the
+                # buffer-wide lock doubles as the tree lock).
+                try:
+                    self.protocol.begin_insert(w.name, triggers_flush=True, page=0)
+                except LockConflict:
+                    return False
+                w.mode = "direct"
+            else:
+                triggers = len(buffer) + 1 >= self.config.buffer_capacity
+                page = min(
+                    len(buffer) // self.config.page_size, self.config.n_pages - 1
+                )
+                try:
+                    w.mode = self.protocol.begin_insert(
+                        w.name, triggers_flush=triggers, page=page
+                    )
+                except LockConflict:
+                    return False
+                w.page = page
+            w.phase = "write_apply"
+            return True
+        # read op
+        try:
+            self.protocol.begin_query(w.name)
+        except LockConflict:
+            return False
+        w.phase = "read_locked"
+        return True
+
+    def _step_write_apply(self, w: _Worker) -> bool:
+        op = w.op
+        kind = op[0]
+        inner = self.index
+        if w.mode == "append":
+            if kind == "delete":
+                inner.stats.deletes += 1
+                inner.buffer.add(op[1], None, tombstone=True)
+                inner.stats.tombstones_buffered += 1
+            else:
+                inner.stats.inserts += 1
+                inner.buffer.add(op[1], op[2])
+            self.protocol.finish_append(w.name, w.page)
+        else:  # "flush" or "direct"
+            flushes_before = inner.stats.flushes
+            if kind == "delete":
+                inner.delete(op[1])
+            else:
+                inner.insert(op[1], op[2])
+            self.stats.flushes += inner.stats.flushes - flushes_before
+            self.protocol.finish_flush(w.name)
+        self._commit_write(op)
+        self._check_structure()
+        w.mode = None
+        w.phase = "idle"
+        w.idx += 1
+        return True
+
+    def _step_read_locked(self, w: _Worker) -> bool:
+        if not self._should_query_sort():
+            w.phase = "read_apply"
+            return True
+        # Query sorting is flush-class: wait for in-flight appenders to
+        # drain (they always finish, so blocking here cannot deadlock and
+        # does not count against the upgrade budget).
+        if self._pages_held_by_others(w.name):
+            return False
+        try:
+            self.protocol.upgrade_for_query_sort(w.name)
+        except LockConflict:
+            w.upgrade_failures += 1
+            if w.upgrade_failures >= UPGRADE_RETRY_BUDGET:
+                # Deterministic stand-in for the blocking front-end's
+                # upgrade timeout: release S, re-enter exclusively.
+                self.protocol.finish_query(w.name)
+                w.phase = "read_reacquire_x"
+                self.stats.upgrade_fallbacks += 1
+                return True  # releasing a lock is progress
+            return False
+        self.stats.upgrades += 1
+        w.phase = "read_apply"
+        return True
+
+    def _step_read_reacquire(self, w: _Worker) -> bool:
+        if self._pages_held_by_others(w.name):
+            return False  # exclusivity here is flush-class too
+        try:
+            self.protocol.locks.acquire(w.name, BUFFER, EXCLUSIVE)
+        except LockConflict:
+            return False
+        w.holds_fallback_x = True
+        w.phase = "read_apply"
+        return True
+
+    def _step_read_apply(self, w: _Worker) -> bool:
+        op = w.op
+        inner = self.index
+        exclusive = self.protocol.locks.mode(BUFFER) == EXCLUSIVE
+        if exclusive and self._should_query_sort():
+            inner.buffer.query_sort()
+        if op[0] == "get":
+            result = inner.get(op[1])
+        else:
+            result = inner.range_query(op[1], op[2])
+        self._commit_read(op, result)
+        self._check_structure()
+        if w.holds_fallback_x:
+            self.protocol.locks.release(w.name, BUFFER)
+            w.holds_fallback_x = False
+        else:
+            self.protocol.finish_query(w.name)
+        w.upgrade_failures = 0
+        w.phase = "idle"
+        w.idx += 1
+        return True
+
+    def _check_structure(self) -> None:
+        self.index.buffer.check_invariants()
+        self.index.backend.check_invariants()
+
+    # -- the schedule loop ----------------------------------------------
+    def run(self) -> ScheduleStats:
+        patience = _DEADLOCK_PATIENCE_FACTOR * max(1, len(self.workers))
+        blocked_streak = 0
+        while True:
+            runnable = [w for w in self.workers if not w.done]
+            if not runnable:
+                break
+            worker = self.rng.choice(runnable)
+            progressed = self._step(worker)
+            self.stats.steps += 1
+            self.protocol.check_invariants()
+            if progressed:
+                blocked_streak = 0
+            else:
+                self.stats.conflicts += 1
+                blocked_streak += 1
+                if blocked_streak > patience:
+                    raise ScheduleViolation(
+                        f"seed {self.seed}: no worker progressed in "
+                        f"{blocked_streak} consecutive steps (deadlock)"
+                    )
+        self._final_checks()
+        return self.stats
+
+    def _final_checks(self) -> None:
+        # Every lock must be back in the free state.
+        if self.protocol.locks.mode(BUFFER) is not None:
+            raise ScheduleViolation(f"seed {self.seed}: buffer lock leaked")
+        for page in range(self.config.n_pages):
+            if self.protocol.locks.mode(f"page:{page}") is not None:
+                raise ScheduleViolation(
+                    f"seed {self.seed}: page {page} lock leaked"
+                )
+        # Drain and compare the full final state against the oracle.
+        self.index.flush_all()
+        self._check_structure()
+        expected = sorted(self.oracle.items())
+        actual = self.index.items()
+        if actual != expected:
+            raise ScheduleViolation(
+                f"seed {self.seed}: final state diverged from the oracle "
+                f"({len(actual)} vs {len(expected)} entries)"
+            )
+
+
+def run_schedule(
+    seed: int,
+    programs: Optional[List[List[Op]]] = None,
+    config: Optional[SWAREConfig] = None,
+    **kwargs,
+) -> ScheduleStats:
+    """Run one seeded interleaving; raises :class:`ScheduleViolation`,
+    :class:`~repro.errors.InvariantViolation` or
+    :class:`~repro.core.concurrency.LockConflict` on any violation."""
+    return ScheduleExplorer(seed, programs=programs, config=config, **kwargs).run()
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate of :func:`explore` (all schedules passed if it exists)."""
+
+    n_schedules: int
+    stats: List[ScheduleStats] = field(default_factory=list)
+
+    @property
+    def total_commits(self) -> int:
+        return sum(s.commits for s in self.stats)
+
+    @property
+    def total_conflicts(self) -> int:
+        return sum(s.conflicts for s in self.stats)
+
+    @property
+    def total_upgrades(self) -> int:
+        return sum(s.upgrades for s in self.stats)
+
+    @property
+    def total_fallbacks(self) -> int:
+        return sum(s.upgrade_fallbacks for s in self.stats)
+
+    @property
+    def total_flushes(self) -> int:
+        return sum(s.flushes for s in self.stats)
+
+
+def explore(
+    n_schedules: int = 1000,
+    base_seed: int = 0,
+    config: Optional[SWAREConfig] = None,
+    **kwargs,
+) -> ExplorationReport:
+    """Replay ``n_schedules`` seeded interleavings; raises on the first
+    violation, otherwise returns the aggregate report."""
+    report = ExplorationReport(n_schedules=n_schedules)
+    for offset in range(n_schedules):
+        report.stats.append(
+            run_schedule(base_seed + offset, config=config, **kwargs)
+        )
+    return report

@@ -29,6 +29,7 @@ class SWAREStats:
     top_inserted_entries: int = 0
     tombstones_buffered: int = 0
     tombstones_applied: int = 0
+    tombstones_noop: int = 0
     tombstones_dropped: int = 0
     kl_sorts: int = 0
     stable_sorts: int = 0

@@ -178,8 +178,14 @@ class SortednessAwareIndex:
             with self.meter.bucket("top_insert"):
                 for key, _seq, value, tombstone in overlapping:
                     if tombstone:
-                        self.backend.delete(key)
-                        self.stats.tombstones_applied += 1
+                        # Backends that report deletion (the B+-tree returns
+                        # False for an absent key) let us split real deletions
+                        # from no-ops; message-based backends (Bε-tree, LSM)
+                        # return None and count as applied.
+                        if self.backend.delete(key) is False:
+                            self.stats.tombstones_noop += 1
+                        else:
+                            self.stats.tombstones_applied += 1
                     else:
                         self.backend.insert(key, value)
                         self.stats.top_inserted_entries += 1

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_left
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 

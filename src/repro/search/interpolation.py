@@ -104,7 +104,9 @@ def interpolation_search(
             right = pos - 1
     if steps is not None:
         steps.append(n_steps)
-    # Converged without finding target; it may still sit at index ``right``.
+    # left > right: the window is empty and every probe ruled the target
+    # out, so it is absent (a probe equal to the target would have returned
+    # its rightmost occurrence before shrinking the window past it).
     return -1
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.advisor import Recommendation, recommend, recommend_for_sample
+from repro.core.advisor import recommend, recommend_for_sample
 from repro.core.sware import SortednessAwareIndex
 from repro.btree.btree import BPlusTree
 from repro.sortedness.generator import generate_kl_keys, scrambled_keys

@@ -1,8 +1,7 @@
 """Edge-case and failure-mode tests for the SWARE-buffer and wrapper."""
 
-import pytest
 
-from repro.core.buffer import HIT, MISS, TOMBSTONE, SWAREBuffer
+from repro.core.buffer import HIT, TOMBSTONE, SWAREBuffer
 from repro.core.config import SWAREConfig
 from repro.core.factory import make_sa_btree
 

@@ -130,6 +130,28 @@ class TestBenchBatch:
         assert main(["perf-gate", str(out), str(slow)]) == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_bench_concurrent_writes_artifact(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        out = tmp_path / "bench_concurrent.json"
+        args = [
+            "bench-concurrent",
+            "--n", "1000",
+            "--threads", "1,2",
+            "--repeats", "1",
+            "--json", str(out),
+        ]
+        assert main(args) == 0
+        assert "Concurrent front-end throughput" in capsys.readouterr().out
+
+        import json
+
+        doc = json.loads(out.read_text())
+        gauges = doc["metrics"]["gauges"]
+        assert "concurrent_ops_serial_mixed_ops_per_s" in gauges
+        assert "concurrent_ops_t2_mixed_ops_per_s" in gauges
+        assert "concurrent_ops_t2_lock_acquires" in gauges
+        assert (tmp_path / "BENCH_concurrent.json").exists()
+
     def test_perf_gate_unreadable_input(self, capsys, tmp_path):
         missing = tmp_path / "nope.json"
         valid = tmp_path / "valid.json"

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.concurrency import (
-    BUFFER,
     EXCLUSIVE,
     SHARED,
     LockConflict,

@@ -1,6 +1,5 @@
 """Tests for the cost model and meter."""
 
-import pytest
 
 from repro.storage.costmodel import (
     DEFAULT_WEIGHTS,

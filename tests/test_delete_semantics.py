@@ -1,0 +1,129 @@
+"""Delete-of-missing-key semantics across every backend (§IV-D).
+
+The B+-tree *reports* deletion (``delete`` returns False for an absent
+key); the Bε-tree and LSM-tree are message-based (``delete`` returns
+``None`` and buffers a tombstone regardless). The SWARE wrapper splits
+tombstone accounting accordingly: flushed tombstones that removed a tree
+entry count as ``tombstones_applied``, misses against a reporting backend
+count as ``tombstones_noop``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.betree.betree import BeTree, BeTreeConfig
+from repro.btree.btree import BPlusTree, BPlusTreeConfig
+from repro.core.config import SWAREConfig
+from repro.core.sware import SortednessAwareIndex
+from repro.lsm.lsm import LSMTree
+
+
+def _backends():
+    return [
+        ("btree", BPlusTree(BPlusTreeConfig(leaf_capacity=8, internal_capacity=8))),
+        ("betree", BeTree(BeTreeConfig(node_size=16, leaf_capacity=8))),
+        ("lsm", LSMTree()),
+    ]
+
+
+SMALL = SWAREConfig(buffer_capacity=8, page_size=4)
+
+
+class TestRawBackendReturn:
+    def test_btree_delete_reports_miss_and_hit(self):
+        tree = BPlusTree()
+        assert tree.delete(1) is False  # empty tree
+        tree.insert(1, "a")
+        assert tree.delete(1) is True
+        assert tree.delete(1) is False  # already gone
+
+    def test_message_backends_return_none(self):
+        for label, tree in _backends()[1:]:
+            assert tree.delete(99) is None, label
+            tree.insert(99, "v")
+            assert tree.delete(99) is None, label
+            assert tree.get(99) is None, label
+
+
+class TestDeleteThroughWrapper:
+    @pytest.mark.parametrize("label,tree", _backends())
+    def test_missing_key_empty_buffer_goes_direct(self, label, tree):
+        index = SortednessAwareIndex(tree, config=SMALL)
+        index.delete(123)  # empty buffer -> straight to the tree
+        assert index.stats.deletes == 1
+        assert index.stats.tombstones_buffered == 0
+        assert index.get(123) is None
+
+    @pytest.mark.parametrize("label,tree", _backends())
+    def test_missing_key_populated_buffer(self, label, tree):
+        index = SortednessAwareIndex(tree, config=SMALL)
+        for key in (10, 20, 30):
+            index.insert(key, key)
+        # 25 is inside the buffer's key range: a tombstone is buffered
+        # even though the key exists nowhere.
+        index.delete(25)
+        assert index.stats.tombstones_buffered == 1
+        assert index.get(25) is None
+        index.flush_all()
+        assert index.get(25) is None
+        assert index.items() == [(10, 10), (20, 20), (30, 30)]
+
+    @pytest.mark.parametrize("label,tree", _backends())
+    def test_present_key_deleted_everywhere(self, label, tree):
+        index = SortednessAwareIndex(tree, config=SMALL)
+        for key in range(20):
+            index.insert(key, key * 10)
+        index.delete(5)
+        index.flush_all()
+        assert index.get(5) is None
+        assert index.get(6) == 60
+        assert sorted(k for k, _ in index.items()) == [
+            k for k in range(20) if k != 5
+        ]
+
+
+class TestTombstoneAccountingSplit:
+    def test_noop_vs_applied_on_reporting_backend(self):
+        """Tombstones for never-inserted keys must not count as applied."""
+        tree = BPlusTree(BPlusTreeConfig(leaf_capacity=8, internal_capacity=8))
+        index = SortednessAwareIndex(tree, config=SMALL)
+        # Put real keys into the tree so flushed tombstones overlap it.
+        for key in range(0, 40, 2):
+            index.insert(key, key)
+        index.flush_all()
+        assert index.stats.tombstones_applied == 0
+        assert index.stats.tombstones_noop == 0
+
+        index.insert(1, 1)  # repopulate the buffer: range now [1, 21]
+        index.insert(21, 21)
+        index.delete(2)    # present in the tree -> applied
+        index.delete(3)    # never inserted -> noop
+        index.delete(13)   # never inserted -> noop
+        assert index.stats.tombstones_buffered == 3
+        index.flush_all()
+        assert index.stats.tombstones_applied == 1
+        assert index.stats.tombstones_noop == 2
+        assert index.get(2) is None
+        assert index.get(4) == 4
+
+    def test_message_backend_counts_all_as_applied(self):
+        """Bε-tree deletes return None: no split is observable."""
+        tree = BeTree(BeTreeConfig(node_size=16, leaf_capacity=8))
+        index = SortednessAwareIndex(tree, config=SMALL)
+        for key in range(0, 20, 2):
+            index.insert(key, key)
+        index.flush_all()
+        index.insert(1, 1)
+        index.insert(15, 15)
+        index.delete(2)   # present
+        index.delete(3)   # absent — indistinguishable to a message backend
+        index.flush_all()
+        assert index.stats.tombstones_applied == 2
+        assert index.stats.tombstones_noop == 0
+
+    def test_snapshot_exposes_both_counters(self):
+        stats = SortednessAwareIndex(BPlusTree(), config=SMALL).stats
+        snapshot = stats.snapshot()
+        assert "tombstones_applied" in snapshot
+        assert "tombstones_noop" in snapshot

@@ -1,6 +1,5 @@
 """Tests for the experiment-harness plumbing (repro.bench.experiments.common)."""
 
-import pytest
 
 from repro.bench.experiments import common
 from repro.workloads.spec import INSERT, LOOKUP

@@ -5,7 +5,6 @@ import pytest
 
 from repro.bench.experiments import common
 from repro.bench.runner import run_phases, speedup
-from repro.core.config import SWAREConfig
 from repro.workloads.spec import INSERT, value_for
 
 

@@ -115,3 +115,30 @@ class TestBounds:
         assert all(key == target for key in keys[lo:hi])
         assert target not in keys[:lo]
         assert target not in keys[hi:]
+
+
+class TestDuplicateHeavyAgreement:
+    """All three searchers must agree on the *rightmost* occurrence even
+    when the list is dominated by long duplicate runs (the regime where a
+    probe can land anywhere inside a run and must still walk to its end).
+    """
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=120),
+        st.integers(min_value=-1, max_value=9),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_rightmost_agreement(self, keys, target):
+        keys = sorted(keys)
+        expected = rightmost_index(keys, target)
+        for search in SEARCHERS:
+            assert search(keys, target) == expected, search.__name__
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_single_value_run(self, run_length):
+        keys = [7] * run_length
+        for search in SEARCHERS:
+            assert search(keys, 7) == run_length - 1, search.__name__
+            assert search(keys, 6) == -1, search.__name__
+            assert search(keys, 8) == -1, search.__name__

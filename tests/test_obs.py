@@ -333,7 +333,7 @@ class TestComponentIntegration:
         assert result.n_ops > 0
 
     def test_index_constructed_under_observe_registers(self):
-        from repro.btree.btree import BPlusTree, BPlusTreeConfig
+        from repro.btree.btree import BPlusTree
         from repro.core.sware import SortednessAwareIndex
         from repro.storage.costmodel import Meter
 

@@ -5,7 +5,7 @@ from repro.bench.runner import run_phases, speedup
 from repro.core.config import SWAREConfig
 from repro.core.factory import make_baseline_btree, make_sa_btree
 from repro.storage.costmodel import CostModel, Meter
-from repro.workloads.spec import LOOKUP, INSERT, value_for
+from repro.workloads.spec import value_for
 
 
 class TestReadOnlyClaim:
