@@ -40,10 +40,20 @@ from repro.errors import (
     ConfigError,
     InvariantViolation,
     KLSortCapacityError,
+    PinViolationError,
     ReproError,
+    WALError,
 )
 from repro.lsm import LSMConfig, LSMTree
-from repro.storage import BufferPool, CostModel, Meter
+from repro.storage import (
+    BufferPool,
+    CheckpointStore,
+    CostModel,
+    Meter,
+    RecoveryReport,
+    WriteAheadLog,
+    replay_wal,
+)
 
 __version__ = "1.0.0"
 
@@ -69,11 +79,17 @@ __all__ = [
     "ConfigError",
     "InvariantViolation",
     "KLSortCapacityError",
+    "PinViolationError",
     "ReproError",
+    "WALError",
     "LSMConfig",
     "LSMTree",
     "BufferPool",
+    "CheckpointStore",
     "CostModel",
     "Meter",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "replay_wal",
     "__version__",
 ]

@@ -28,6 +28,9 @@ Commands
     Compare the throughput gauges of two bench artifacts (committed
     baseline vs fresh run); exits non-zero on regressions beyond the
     tolerance.
+``recover``
+    Rebuild an index from a checkpoint file plus a write-ahead-log tail
+    (crash restart), verify its invariants, and print the recovery report.
 ``stats``
     Run an instrumented workload (or load a ``--from`` artifact) and render
     the metrics registry in Prometheus text exposition format.
@@ -154,6 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="allowed slowdown factor (default 2.0)",
+    )
+
+    rec = sub.add_parser(
+        "recover", help="rebuild an index from checkpoint + WAL after a crash"
+    )
+    rec.add_argument("checkpoint", help="checkpoint file written by CheckpointStore")
+    rec.add_argument(
+        "--wal", type=str, default=None, metavar="PATH", help="write-ahead log to replay"
+    )
+    rec.add_argument(
+        "--slot-size", type=int, default=None, help="checkpoint slot size (default 4096)"
     )
 
     stats = sub.add_parser(
@@ -350,6 +364,24 @@ def _cmd_perf_gate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.storage.pagefile import DEFAULT_SLOT_SIZE, CheckpointStore
+
+    slot_size = args.slot_size if args.slot_size is not None else DEFAULT_SLOT_SIZE
+    store = CheckpointStore(args.checkpoint, slot_size=slot_size)
+    try:
+        index, report = store.recover(wal_path=args.wal)
+    except ReproError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    check = getattr(index.backend, "check_invariants", None)
+    if check is not None:
+        check()
+    print(report.describe())
+    return 0
+
+
 def _run_observed_demo(args: argparse.Namespace, obs) -> None:
     """The `stats`/`trace` workload: one observed SA B+-tree mixed run."""
     from repro.bench.experiments import common
@@ -415,6 +447,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-batch": _cmd_bench_batch,
         "bench-concurrent": _cmd_bench_concurrent,
         "perf-gate": _cmd_perf_gate,
+        "recover": _cmd_recover,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
     }[args.command]

@@ -54,6 +54,7 @@ from repro.core.sware import SortednessAwareIndex, TreeBackend
 from repro.errors import LockTimeout
 from repro.obs import NULL_OBS, Observability, current_obs
 from repro.storage.costmodel import Meter
+from repro.storage.wal import WriteAheadLog
 
 #: The whole-buffer lock resource (same name the virtual protocol uses).
 BUFFER = "buffer"
@@ -76,10 +77,17 @@ class ConcurrentSortednessAwareIndex:
         obs: Optional[Observability] = None,
         lock_timeout: float = DEFAULT_TIMEOUT_S,
         upgrade_timeout: float = DEFAULT_UPGRADE_TIMEOUT_S,
+        wal: Optional[WriteAheadLog] = None,
     ):
         self.config = config or SWAREConfig()
         self.lock_timeout = lock_timeout
         self.upgrade_timeout = upgrade_timeout
+        #: The WAL lives on the wrapper, not the inner index: the inner
+        #: write path is bypassed by the page-granular append fast path, so
+        #: the wrapper logs each op under the latch at its apply point —
+        #: WAL order therefore matches the physical serialization order
+        #: exactly, which is what recovery replays.
+        self.wal = wal
         obs = obs if obs is not None else current_obs()
         # The inner index must never query-sort on its own (that would
         # mutate the buffer under a shared lock); the front-end triggers
@@ -195,6 +203,8 @@ class ConcurrentSortednessAwareIndex:
                         # Direct tree delete; the buffer-wide lock doubles
                         # as the tree lock (readers search the tree under
                         # S, flushes mutate it under X).
+                        if self.wal is not None:
+                            self.wal.append_delete(key)
                         inner.delete(key)
                         return
                     if len(buffer) + self._reserved + 1 >= capacity:
@@ -209,6 +219,11 @@ class ConcurrentSortednessAwareIndex:
                     held = self._sweep_pages(worker)
                     try:
                         with self._latch:
+                            if self.wal is not None:
+                                if tombstone:
+                                    self.wal.append_delete(key)
+                                else:
+                                    self.wal.append_put(key, value)
                             if tombstone:
                                 inner.delete(key)
                             else:
@@ -233,6 +248,11 @@ class ConcurrentSortednessAwareIndex:
                         retry = True
                     else:
                         retry = False
+                        if self.wal is not None:
+                            if tombstone:
+                                self.wal.append_delete(key)
+                            else:
+                                self.wal.append_put(key, value)
                         if tombstone:
                             inner.stats.deletes += 1
                             buffer.add(key, None, tombstone=True)
@@ -275,6 +295,8 @@ class ConcurrentSortednessAwareIndex:
                             if space <= 0:
                                 inner._flush_cycle()
                             else:
+                                if self.wal is not None:
+                                    self.wal.append_puts(items[i : i + space])
                                 inner.put_many(items[i : i + space])
                                 i += space
                     finally:
@@ -283,6 +305,8 @@ class ConcurrentSortednessAwareIndex:
                     # Strictly below capacity even if every reserved
                     # append lands: no flush possible, no sweep needed.
                     with self._latch:
+                        if self.wal is not None:
+                            self.wal.append_puts(items[i:n])
                         inner.put_many(items[i:n])
                         i = n
             finally:
@@ -297,6 +321,28 @@ class ConcurrentSortednessAwareIndex:
             try:
                 with self._latch:
                     self.inner.flush_all()
+            finally:
+                self._release(worker, held)
+        finally:
+            self.locks.release(worker, BUFFER)
+
+    def checkpoint(self, store) -> int:
+        """Atomic checkpoint + WAL truncation under buffer-wide X.
+
+        The page-lock sweep drains in-flight appenders first, so the saved
+        tree and the truncated WAL are a consistent cut: every op either
+        made it into the checkpoint or will be re-logged after it.
+        """
+        worker = threading.get_ident()
+        self.locks.acquire(worker, BUFFER, EXCLUSIVE, timeout=self.lock_timeout)
+        try:
+            held = self._sweep_pages(worker)
+            try:
+                with self._latch:
+                    pages = store.save_index(self.inner)
+                    if self.wal is not None:
+                        self.wal.reset()
+                    return pages
             finally:
                 self._release(worker, held)
         finally:

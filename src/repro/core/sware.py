@@ -27,6 +27,7 @@ from repro.core.config import SWAREConfig
 from repro.core.stats import SWAREStats
 from repro.obs import DEFAULT_SIZE_BUCKETS, NULL_OBS, Observability, current_obs
 from repro.storage.costmodel import Meter, NULL_METER
+from repro.storage.wal import WriteAheadLog
 
 
 @runtime_checkable
@@ -61,10 +62,15 @@ class SortednessAwareIndex:
         config: Optional[SWAREConfig] = None,
         meter: Optional[Meter] = None,
         obs: Optional[Observability] = None,
+        wal: Optional[WriteAheadLog] = None,
     ):
         self.config = config or SWAREConfig()
         self.meter = meter if meter is not None else NULL_METER
         self.obs = obs if obs is not None else current_obs()
+        #: Optional write-ahead log: every put/delete is appended (and,
+        #: under the default policy, fsynced) *before* it enters the
+        #: volatile buffer, making acknowledged writes crash-durable.
+        self.wal = wal
         self.stats = SWAREStats()
         self.backend = backend
         if backend.meter is NULL_METER and self.meter is not NULL_METER:
@@ -82,6 +88,8 @@ class SortednessAwareIndex:
         """Buffer an upsert; flushes a batch into the tree when full."""
         if value is None:
             raise ValueError("None values are reserved for 'absent'")
+        if self.wal is not None:
+            self.wal.append_put(key, value)
         self.stats.inserts += 1
         self.buffer.add(key, value)
         if self.buffer.is_full:
@@ -100,6 +108,8 @@ class SortednessAwareIndex:
         for _key, value in items:
             if value is None:
                 raise ValueError("None values are reserved for 'absent'")
+        if self.wal is not None:
+            self.wal.append_puts(items)
         buffer = self.buffer
         i = 0
         while i < n:
@@ -116,6 +126,8 @@ class SortednessAwareIndex:
 
     def delete(self, key: int) -> None:
         """Delete via a buffered tombstone or directly in the tree (§IV-D)."""
+        if self.wal is not None:
+            self.wal.append_delete(key)
         self.stats.deletes += 1
         if not self.buffer.is_empty and self.buffer.zonemap.may_contain(key):
             self.buffer.add(key, None, tombstone=True)
@@ -135,6 +147,22 @@ class SortednessAwareIndex:
                 batch = self.buffer.drain()
             span.set(entries=len(batch.entries))
             self._apply_batch(batch)
+
+    def checkpoint(self, store) -> int:
+        """Atomically checkpoint through ``store`` and truncate the WAL.
+
+        The ordering is the durability contract: the buffer drains into the
+        tree, the tree is committed atomically (temp file + rename), and
+        only then is the WAL reset — so at every instant, checkpoint + WAL
+        tail together cover every acknowledged write. Returns the number of
+        pages written.
+        """
+        with self.obs.span("sware.checkpoint") as span:
+            pages = store.save_index(self)
+            if self.wal is not None:
+                self.wal.reset()
+            span.set(pages=pages, epoch=store.last_epoch)
+        return pages
 
     def _flush_cycle(self) -> None:
         with self.obs.span("sware.flush_cycle") as span:

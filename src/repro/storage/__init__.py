@@ -1,5 +1,6 @@
-"""Simulated storage substrate: cost accounting, an LRU bufferpool, and the
-binary page format."""
+"""Storage substrate: cost accounting, an LRU bufferpool, the binary page
+format, and the durability subsystem (WAL + atomic checkpoints + crash
+fault-injection)."""
 
 from repro.storage.bufferpool import BufferPool, Frame, PageIdAllocator
 from repro.storage.costmodel import (
@@ -10,7 +11,14 @@ from repro.storage.costmodel import (
     StopwatchResult,
     stopwatch,
 )
-from repro.storage.pagefile import CheckpointStore, PageFile, PageFileError
+from repro.storage.faults import FaultyEnv, FaultyFile, SimulatedCrash
+from repro.storage.pagefile import (
+    CheckpointStore,
+    PageFile,
+    PageFileError,
+    RecoveryReport,
+)
+from repro.storage.wal import WALReplay, WriteAheadLog, replay_wal
 from repro.storage.pages import (
     PageCorruptionError,
     decode_internal,
@@ -36,6 +44,13 @@ __all__ = [
     "CheckpointStore",
     "PageFile",
     "PageFileError",
+    "RecoveryReport",
+    "WALReplay",
+    "WriteAheadLog",
+    "replay_wal",
+    "FaultyEnv",
+    "FaultyFile",
+    "SimulatedCrash",
     "PageCorruptionError",
     "decode_internal",
     "decode_leaf",

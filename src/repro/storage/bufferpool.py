@@ -19,7 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import BufferpoolFullError
+from repro.errors import BufferpoolFullError, PinViolationError
 from repro.obs import NULL_OBS, Observability, current_obs
 from repro.storage.costmodel import NULL_METER, Meter
 
@@ -114,8 +114,20 @@ class BufferPool:
         self._admit(Frame(page_id=page_id, dirty=True))
 
     def drop(self, page_id: int) -> None:
-        """Discard a page that no longer exists (e.g. a merged node)."""
-        self._frames.pop(page_id, None)
+        """Discard a page that no longer exists (e.g. a merged node).
+
+        Dropping a pinned frame is a pin-accounting violation: the holder's
+        eventual ``unpin`` would target a vanished frame, so the bug would
+        only surface later and far from its cause. It is rejected here.
+        """
+        frame = self._frames.get(page_id)
+        if frame is None:
+            return
+        if frame.pins:
+            raise PinViolationError(
+                f"page {page_id} is pinned ({frame.pins}); cannot drop"
+            )
+        del self._frames[page_id]
 
     def pin(self, page_id: int) -> None:
         """Pin a page; it is faulted in first if absent."""
@@ -126,7 +138,7 @@ class BufferPool:
     def unpin(self, page_id: int) -> None:
         frame = self._frames.get(page_id)
         if frame is None or frame.pins == 0:
-            raise ValueError(f"page {page_id} is not pinned")
+            raise PinViolationError(f"page {page_id} is not pinned")
         frame.pins -= 1
 
     def flush_all(self) -> int:

@@ -1,18 +1,41 @@
-"""A file-backed page store and index checkpointing.
+"""A file-backed page store and crash-safe index checkpointing.
 
 :class:`PageFile` manages a single file of fixed-size slots (4 KB by
 default, the paper's page size), with a free-list for reuse and CRC-checked
 page payloads (via :mod:`repro.storage.pages`). :class:`CheckpointStore`
-persists a whole B+-tree into a page file and restores it — the durability
-story a downstream user of this library needs, and a concrete consumer of
-the binary page format.
+persists a whole B+-tree into a page file and restores it, and together
+with the write-ahead log (:mod:`repro.storage.wal`) forms the durability
+subsystem: checkpoint + WAL-tail replay is the restart path
+(:meth:`CheckpointStore.recover`).
 
-The file layout is deliberately simple (this is a reproduction, not a
-transactional engine): data pages are written first, then a pickled
-directory (logical page id → slot chain, root id, tree config) is appended
-and found again by scanning from the end of the file. Torn-write atomicity
-is *not* guaranteed; the covered failure modes (payload corruption,
-truncation, missing pages, garbage files) are in the module tests.
+Checkpoints are **atomic**. A save writes data slots, a pickled directory
+(logical page id → slot chain, root id, tree config) and a fixed-size,
+CRC-protected footer carrying a monotonically increasing epoch into a
+temporary file, fsyncs it, and commits with an atomic ``os.replace``; the
+containing directory is fsynced so the rename itself is durable. A reader
+therefore always sees either the previous checkpoint or the new one in
+full — never a torn mix — and the highest epoch stamp identifies the
+newest. A crash mid-save leaves only a stale ``*.tmp`` file, which
+recovery removes.
+
+File layout::
+
+    [ slot 0 | slot 1 | ... | slot N-1 | directory pickle | footer ]
+
+    footer (little-endian, fixed size, last bytes of the file):
+        magic       u32   0x53574346 ("SWCF")
+        version     u16   1
+        flags       u16   reserved
+        epoch       u64   checkpoint epoch (monotonic per store path)
+        dir_offset  u64   byte offset of the directory pickle
+        dir_length  u64   directory pickle length
+        dir_crc     u32   CRC32 of the directory pickle
+        footer_crc  u32   CRC32 of all preceding footer bytes
+
+Covered failure modes (torn footer, truncated file, payload corruption,
+garbage files, crash at any I/O boundary during save) are exercised by the
+module tests and the seeded crash-injection harness
+(:mod:`repro.storage.faults`).
 """
 
 from __future__ import annotations
@@ -20,14 +43,22 @@ from __future__ import annotations
 import os
 import pickle
 import struct
-from typing import Dict, List
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ReproError
+from repro.obs import current_obs
 from repro.storage.pages import deserialize_btree, serialize_btree
+from repro.storage.wal import fsync_file, replay_wal
 
 DEFAULT_SLOT_SIZE = 4096
 
 _SLOT_HEADER = struct.Struct("<I")  # payload length within the slot chain
+
+FOOTER_MAGIC = 0x53574346  # "SWCF": SWARE checkpoint footer
+FOOTER_VERSION = 1
+_FOOTER = struct.Struct("<IHHQQQII")
 
 
 class PageFileError(ReproError):
@@ -39,18 +70,29 @@ class PageFile:
 
     Payloads larger than a slot spill into a chain of continuation slots;
     each stored page records its payload length so reads are exact.
+
+    Reopening an existing file resumes slot allocation *after* the slots
+    already on disk (``file size // slot_size``), so appends to a reopened
+    file never silently overwrite existing data.
     """
 
-    def __init__(self, path: str, slot_size: int = DEFAULT_SLOT_SIZE):
+    def __init__(
+        self,
+        path: str,
+        slot_size: int = DEFAULT_SLOT_SIZE,
+        opener: Callable = open,
+    ):
         if slot_size < 64:
             raise ValueError("slot_size must be >= 64")
         self.path = path
         self.slot_size = slot_size
         self._free: List[int] = []
-        self._n_slots = 0
         self._chains: Dict[int, List[int]] = {}  # logical id -> slot chain
-        mode = "r+b" if os.path.exists(path) else "w+b"
-        self._file = open(path, mode)
+        exists = os.path.exists(path)
+        self._file = opener(path, "r+b" if exists else "w+b")
+        # Slots already on disk stay allocated: a fresh file starts at slot
+        # 0, a reopened one appends after its existing content.
+        self._n_slots = os.path.getsize(path) // slot_size if exists else 0
 
     # -- slot primitives ---------------------------------------------------
     def _allocate_slot(self) -> int:
@@ -109,9 +151,16 @@ class PageFile:
         return self._n_slots
 
     # -- lifecycle ----------------------------------------------------------
+    def truncate(self) -> None:
+        """Discard every slot and reset allocation to an empty file."""
+        self._file.seek(0)
+        self._file.truncate(0)
+        self._free.clear()
+        self._chains.clear()
+        self._n_slots = 0
+
     def sync(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        fsync_file(self._file)
 
     def close(self) -> None:
         self._file.close()
@@ -123,47 +172,200 @@ class PageFile:
         self.close()
 
 
-class CheckpointStore:
-    """Persist/restore whole indexes through a :class:`PageFile`.
+@dataclass
+class RecoveryReport:
+    """What :meth:`CheckpointStore.recover` found and rebuilt."""
 
-    The directory (logical-id → slot chain map, root id, config) is pickled
-    into reserved logical page ``-1``.
+    checkpoint_found: bool = False
+    checkpoint_epoch: int = 0
+    checkpoint_pages: int = 0
+    wal_records_replayed: int = 0
+    wal_torn_tail: bool = False
+    entries: int = 0  #: live entries in the recovered index
+    stale_tmp_removed: bool = False
+
+    def describe(self) -> str:
+        if self.checkpoint_found:
+            found = f"epoch {self.checkpoint_epoch}, {self.checkpoint_pages} pages"
+        else:
+            found = "none found (fresh index)"
+        lines = [
+            f"checkpoint : {found}",
+            f"wal replay : {self.wal_records_replayed} records"
+            + (" (torn tail truncated)" if self.wal_torn_tail else ""),
+            f"entries    : {self.entries}",
+        ]
+        if self.stale_tmp_removed:
+            lines.append("cleanup    : removed stale checkpoint temp file")
+        return "\n".join(lines)
+
+
+class CheckpointStore:
+    """Persist/restore whole indexes atomically through a :class:`PageFile`.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file. Saves are committed by writing ``path + ".tmp"``
+        in full and atomically renaming it over ``path``.
+    opener / replace:
+        Injection seams for the crash harness; default to ``open`` and
+        ``os.replace``.
     """
 
-    DIRECTORY_ID = -1
+    TMP_SUFFIX = ".tmp"
 
-    def __init__(self, path: str, slot_size: int = DEFAULT_SLOT_SIZE):
+    def __init__(
+        self,
+        path: str,
+        slot_size: int = DEFAULT_SLOT_SIZE,
+        opener: Callable = open,
+        replace: Optional[Callable] = None,
+    ):
         self.path = path
         self.slot_size = slot_size
+        self._opener = opener
+        self._replace = replace if replace is not None else os.replace
+        self._epoch: Optional[int] = None  # last epoch written/read
+
+    @property
+    def tmp_path(self) -> str:
+        return self.path + self.TMP_SUFFIX
+
+    @property
+    def last_epoch(self) -> Optional[int]:
+        """Epoch of the last checkpoint saved or loaded through this store."""
+        return self._epoch
+
+    # -- save ---------------------------------------------------------------
+    def _next_epoch(self) -> int:
+        if self._epoch is not None:
+            return self._epoch + 1
+        # First save through this handle: resume after any epoch already
+        # committed at this path so the stamp stays monotonic across
+        # process restarts ("epoch stamp wins" on load).
+        if os.path.exists(self.path):
+            try:
+                with self._opener(self.path, "rb") as fobj:
+                    _directory, epoch = self._read_footer(
+                        fobj, os.path.getsize(self.path)
+                    )
+                return epoch + 1
+            except (PageFileError, OSError):
+                pass
+        return 1
 
     def save_btree(self, tree) -> int:
-        """Checkpoint ``tree``; returns the number of pages written."""
+        """Atomically checkpoint ``tree``; returns the number of pages written.
+
+        The previous checkpoint at :attr:`path` stays intact (and loadable)
+        until the new one is durably committed; a crash at any point during
+        the save leaves at most a stale temp file.
+        """
         blob = serialize_btree(tree)
-        pagefile = PageFile(self.path, self.slot_size)
+        epoch = self._next_epoch()
+        tmp = self.tmp_path
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        pagefile = PageFile(tmp, self.slot_size, opener=self._opener)
         try:
             for page_id, payload in blob["pages"].items():
                 pagefile.write_page(page_id, payload)
             directory = {
                 "root": blob["root"],
                 "config": blob["config"],
-                "chains": pagefile._chains.copy(),
+                "chains": dict(pagefile._chains),
+                "epoch": epoch,
             }
-            # The directory must not be listed in its own chain map.
-            directory["chains"].pop(self.DIRECTORY_ID, None)
-            pagefile.write_page(self.DIRECTORY_ID, pickle.dumps(directory))
+            dir_payload = pickle.dumps(directory, protocol=pickle.HIGHEST_PROTOCOL)
+            dir_offset = pagefile.n_slots * self.slot_size
+            fobj = pagefile._file
+            fobj.seek(dir_offset)
+            fobj.write(dir_payload)
+            footer_body = _FOOTER.pack(
+                FOOTER_MAGIC,
+                FOOTER_VERSION,
+                0,
+                epoch,
+                dir_offset,
+                len(dir_payload),
+                zlib.crc32(dir_payload) & 0xFFFFFFFF,
+                0,
+            )[: -4]
+            footer = footer_body + struct.pack(
+                "<I", zlib.crc32(footer_body) & 0xFFFFFFFF
+            )
+            fobj.write(footer)
             pagefile.sync()
-            return len(blob["pages"])
         finally:
             pagefile.close()
+        self._replace(tmp, self.path)
+        self._sync_parent_dir()
+        self._epoch = epoch
+        return len(blob["pages"])
+
+    def _sync_parent_dir(self) -> None:
+        """fsync the directory entry so the rename survives power loss."""
+        parent = os.path.dirname(os.path.abspath(self.path))
+        try:
+            fd = os.open(parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- load ---------------------------------------------------------------
+    def _read_footer(self, fobj, file_size: int):
+        """Validate and return (directory, epoch) from the file's footer."""
+        if file_size < _FOOTER.size:
+            raise PageFileError("file too small for a checkpoint footer")
+        fobj.seek(file_size - _FOOTER.size)
+        raw = fobj.read(_FOOTER.size)
+        if len(raw) < _FOOTER.size:
+            raise PageFileError("checkpoint footer truncated")
+        (
+            magic,
+            version,
+            _flags,
+            epoch,
+            dir_offset,
+            dir_length,
+            dir_crc,
+            footer_crc,
+        ) = _FOOTER.unpack(raw)
+        if magic != FOOTER_MAGIC:
+            raise PageFileError(f"bad checkpoint footer magic 0x{magic:08X}")
+        if zlib.crc32(raw[:-4]) & 0xFFFFFFFF != footer_crc:
+            raise PageFileError("checkpoint footer checksum mismatch")
+        if version != FOOTER_VERSION:
+            raise PageFileError(f"unsupported checkpoint version {version}")
+        if dir_offset + dir_length > file_size - _FOOTER.size:
+            raise PageFileError("checkpoint directory extends past the footer")
+        fobj.seek(dir_offset)
+        dir_payload = fobj.read(dir_length)
+        if len(dir_payload) < dir_length:
+            raise PageFileError("checkpoint directory truncated")
+        if zlib.crc32(dir_payload) & 0xFFFFFFFF != dir_crc:
+            raise PageFileError("checkpoint directory checksum mismatch")
+        try:
+            directory = pickle.loads(dir_payload)
+        except Exception as exc:  # noqa: BLE001 - corrupt pickle = corrupt file
+            raise PageFileError(f"checkpoint directory unreadable: {exc!r}") from exc
+        if not isinstance(directory, dict) or not {"root", "chains", "config"} <= set(
+            directory
+        ):
+            raise PageFileError("checkpoint directory malformed")
+        return directory, epoch
 
     def load_btree(self):
-        """Restore the checkpointed B+-tree."""
-        pagefile = PageFile(self.path, self.slot_size)
+        """Restore the checkpointed B+-tree from the newest valid footer."""
+        pagefile = PageFile(self.path, self.slot_size, opener=self._opener)
         try:
-            # Bootstrap: the directory is the last page the save wrote, so
-            # it is discovered by scanning from the end; it carries the
-            # chain map for every data page.
-            directory = self._load_directory(pagefile)
+            directory, epoch = self._read_footer(
+                pagefile._file, os.path.getsize(self.path)
+            )
             chains = directory["chains"]
             pagefile._chains = dict(chains)
             pages = {page_id: pagefile.read_page(page_id) for page_id in chains}
@@ -174,53 +376,92 @@ class CheckpointStore:
             }
             tree = deserialize_btree(blob)
             tree.check_invariants()
+            self._epoch = epoch
             return tree
         finally:
             pagefile.close()
 
+    # -- index-level helpers --------------------------------------------------
     def save_index(self, index) -> int:
         """Checkpoint a :class:`~repro.core.sware.SortednessAwareIndex`.
 
-        The SWARE buffer is volatile by design (it mirrors recently arrived
-        data); checkpointing drains it into the tree first, then persists
-        the tree. Returns the number of pages written.
+        The SWARE buffer is volatile by design (its contents are covered by
+        the WAL, when one is attached); checkpointing drains it into the
+        tree first, then persists the tree atomically. Returns the number
+        of pages written.
         """
         index.flush_all()
         return self.save_btree(index.backend)
 
-    def load_index(self, config=None, meter=None):
+    def load_index(self, config=None, meter=None, wal=None):
         """Restore a checkpoint as a fresh SA B+-tree (empty buffer)."""
         from repro.core.sware import SortednessAwareIndex
 
         tree = self.load_btree()
         if meter is not None:
             tree.meter = meter
-        return SortednessAwareIndex(tree, config=config, meter=meter)
+        return SortednessAwareIndex(tree, config=config, meter=meter, wal=wal)
 
-    def _load_directory(self, pagefile: PageFile) -> dict:
-        """Find the directory by scanning slots for a valid pickle tail.
+    # -- recovery -------------------------------------------------------------
+    def recover(
+        self,
+        wal_path: Optional[str] = None,
+        config=None,
+        meter=None,
+        backend_factory: Optional[Callable] = None,
+    ):
+        """Rebuild an index from the newest checkpoint plus the WAL tail.
 
-        The save path writes data pages first and the directory last, so
-        its chain occupies the highest slots; we scan from the end.
+        Returns ``(index, report)``. The restart sequence is:
+
+        1. remove any stale ``*.tmp`` left by a crash mid-checkpoint;
+        2. load the checkpoint at :attr:`path` (a missing file means the
+           system crashed before its first checkpoint: start fresh, with
+           ``backend_factory()`` — default a bare B+-tree — as the tree);
+        3. replay the WAL's intact prefix, in order, through the index's
+           normal write path (idempotent upserts/deletes, so a WAL that
+           overlaps the checkpoint re-applies harmlessly).
+
+        The returned index has **no WAL attached**; the caller reopens the
+        log (which truncates its torn tail) and assigns ``index.wal`` to
+        resume durable operation.
         """
-        file_size = os.path.getsize(self.path)
-        n_slots = file_size // pagefile.slot_size
-        for start in range(n_slots - 1, -1, -1):
-            try:
-                body = b"".join(
-                    pagefile._read_slot(slot) for slot in range(start, n_slots)
+        from repro.core.sware import SortednessAwareIndex
+
+        obs = current_obs()
+        report = RecoveryReport()
+        if os.path.exists(self.tmp_path):
+            os.unlink(self.tmp_path)
+            report.stale_tmp_removed = True
+        with obs.span("recovery.load_checkpoint") as span:
+            if os.path.exists(self.path):
+                index = self.load_index(config=config, meter=meter)
+                report.checkpoint_found = True
+                report.checkpoint_epoch = self._epoch or 0
+                report.checkpoint_pages = (
+                    index.backend.leaf_count + index.backend.internal_count
+                    if hasattr(index.backend, "leaf_count")
+                    else 0
                 )
-                (length,) = _SLOT_HEADER.unpack_from(body)
-                payload = body[_SLOT_HEADER.size : _SLOT_HEADER.size + length]
-                if len(payload) != length:
-                    continue
-                directory = pickle.loads(payload)
-                if (
-                    isinstance(directory, dict)
-                    and "chains" in directory
-                    and "root" in directory
-                ):
-                    return directory
-            except Exception:  # noqa: BLE001 - scanning for a valid pickle
-                continue
-        raise PageFileError("no valid checkpoint directory found")
+            else:
+                if backend_factory is None:
+                    from repro.btree.btree import BPlusTree
+
+                    backend_factory = BPlusTree
+                index = SortednessAwareIndex(
+                    backend_factory(), config=config, meter=meter
+                )
+            span.set(found=report.checkpoint_found, epoch=report.checkpoint_epoch)
+        if wal_path is not None:
+            replay = replay_wal(wal_path, opener=self._opener)
+            with obs.span("recovery.replay_wal") as span:
+                for kind, key, value in replay.ops:
+                    if kind == "put":
+                        index.insert(key, value)
+                    else:
+                        index.delete(key)
+                span.set(records=replay.records, torn=replay.torn_tail)
+            report.wal_records_replayed = replay.records
+            report.wal_torn_tail = replay.torn_tail
+        report.entries = len(index.items())
+        return index, report

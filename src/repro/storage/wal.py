@@ -1,0 +1,300 @@
+"""Write-ahead log: crash durability for the SWARE front-end (§IV).
+
+The SWARE design keeps recently ingested data in a volatile in-memory
+buffer in front of the tree — exactly the data a crash loses. The
+:class:`WriteAheadLog` closes that window: every logical ``put``/``delete``
+is appended (and, under the default policy, fsynced) *before* it enters the
+buffer, so an acknowledged write survives a crash even though it may sit in
+the buffer for thousands of operations before a flush cycle moves it into
+the tree.
+
+Frame format (all little-endian)::
+
+    magic   u16   0x57A1
+    kind    u8    1=put, 2=delete
+    flags   u8    reserved
+    length  u32   payload length in bytes
+    crc     u32   CRC32 over (kind, flags, length, payload)
+    payload ...   put:    key s64 + pickled value
+                  delete: key s64
+
+Replay (:func:`replay_wal`) walks frames from the start of the file and
+stops at the first invalid one — a short header, bad magic, short payload,
+or CRC mismatch. That is *torn-tail tolerance*: the frame being written
+when the process died is, by construction, the last one in the file, so an
+invalid frame marks the crash point and everything before it is intact. A
+torn record is therefore never surfaced as data; it is reported through
+:attr:`WALReplay.torn_tail` and truncated away the next time the log is
+opened for appending.
+
+The log is safe to share between threads (appends serialize on an internal
+lock) and is truncated by :meth:`WriteAheadLog.reset` once a checkpoint has
+made its contents redundant (see :class:`~repro.storage.pagefile.CheckpointStore`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import WALError
+from repro.obs import NULL_OBS, Observability, current_obs
+
+WAL_MAGIC = 0x57A1
+KIND_PUT = 1
+KIND_DELETE = 2
+
+#: fsync policies: every append / only on explicit ``sync()`` / never
+#: automatically (``sync()`` still forces one when called).
+FSYNC_ALWAYS = "always"
+FSYNC_BATCH = "batch"
+FSYNC_NEVER = "never"
+FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_NEVER)
+
+_FRAME_HEADER = struct.Struct("<HBBII")  # magic, kind, flags, length, crc
+_KEY = struct.Struct("<q")
+
+#: A replayed logical operation: ("put", key, value) or ("delete", key, None).
+WALOp = Tuple[str, int, object]
+
+
+def fsync_file(fobj) -> None:
+    """fsync a file object, honouring a fault-injection wrapper's hook.
+
+    Wrappers (e.g. :class:`~repro.storage.faults.FaultyFile`) expose their
+    own ``fsync`` method so the syscall passes through the injection
+    counter; plain files fall back to ``os.fsync`` on the descriptor.
+    """
+    hook = getattr(fobj, "fsync", None)
+    if hook is not None:
+        hook()
+    else:
+        fobj.flush()
+        os.fsync(fobj.fileno())
+
+
+def _frame_crc(kind: int, flags: int, length: int, payload: bytes) -> int:
+    crc = zlib.crc32(struct.pack("<BBI", kind, flags, length))
+    return zlib.crc32(payload, crc) & 0xFFFFFFFF
+
+
+def encode_frame(kind: int, payload: bytes) -> bytes:
+    """One CRC-framed WAL record."""
+    crc = _frame_crc(kind, 0, len(payload), payload)
+    return _FRAME_HEADER.pack(WAL_MAGIC, kind, 0, len(payload), crc) + payload
+
+
+def _decode_op(kind: int, payload: bytes) -> Optional[WALOp]:
+    """Payload -> logical op, or None when structurally invalid."""
+    if len(payload) < _KEY.size:
+        return None
+    (key,) = _KEY.unpack_from(payload)
+    if kind == KIND_DELETE:
+        return ("delete", key, None) if len(payload) == _KEY.size else None
+    try:
+        value = pickle.loads(payload[_KEY.size :])
+    except Exception:  # noqa: BLE001 - a torn pickle is a torn record
+        return None
+    return ("put", key, value)
+
+
+@dataclass
+class WALReplay:
+    """The outcome of scanning a WAL file.
+
+    ``valid_bytes`` is the length of the intact prefix — reopening the log
+    truncates to exactly this offset before appending again.
+    """
+
+    ops: List[WALOp] = field(default_factory=list)
+    records: int = 0
+    valid_bytes: int = 0
+    torn_tail: bool = False
+
+
+def _scan(fobj) -> WALReplay:
+    """Walk frames from offset 0; stop at the first invalid frame."""
+    replay = WALReplay()
+    fobj.seek(0)
+    while True:
+        header = fobj.read(_FRAME_HEADER.size)
+        if len(header) < _FRAME_HEADER.size:
+            replay.torn_tail = len(header) > 0
+            return replay
+        magic, kind, flags, length, crc = _FRAME_HEADER.unpack(header)
+        if magic != WAL_MAGIC or kind not in (KIND_PUT, KIND_DELETE):
+            replay.torn_tail = True
+            return replay
+        payload = fobj.read(length)
+        if len(payload) < length or _frame_crc(kind, flags, length, payload) != crc:
+            replay.torn_tail = True
+            return replay
+        op = _decode_op(kind, payload)
+        if op is None:
+            replay.torn_tail = True
+            return replay
+        replay.ops.append(op)
+        replay.records += 1
+        replay.valid_bytes += _FRAME_HEADER.size + length
+
+
+def replay_wal(path: str, opener: Callable = open) -> WALReplay:
+    """Scan ``path`` and return its intact logical operations, in order.
+
+    A missing file replays as empty (a fresh log that never saw a write);
+    torn tails are tolerated per the module docstring.
+    """
+    if not os.path.exists(path):
+        return WALReplay()
+    fobj = opener(path, "rb")
+    try:
+        return _scan(fobj)
+    finally:
+        fobj.close()
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed log of logical index operations.
+
+    Parameters
+    ----------
+    path:
+        Log file; created if absent. An existing file is scanned on open
+        and any torn tail left by a crash is truncated away so new appends
+        start at the intact prefix.
+    fsync_policy:
+        ``"always"`` (default) fsyncs every append — an acknowledged write
+        is durable; ``"batch"`` flushes to the OS per append but fsyncs only
+        on :meth:`sync`; ``"never"`` leaves syncing entirely to the caller.
+    opener:
+        File factory (``open``-compatible); the fault-injection harness
+        substitutes one that wraps files in :class:`FaultyFile`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync_policy: str = FSYNC_ALWAYS,
+        opener: Callable = open,
+        obs: Optional[Observability] = None,
+    ):
+        if fsync_policy not in FSYNC_POLICIES:
+            raise WALError(f"unknown fsync policy {fsync_policy!r}")
+        self.path = path
+        self.fsync_policy = fsync_policy
+        self.obs = obs if obs is not None else current_obs()
+        self._lock = threading.Lock()
+        self._closed = False
+        self.records = 0  # appended through this handle
+        self.bytes_written = 0
+        self.syncs = 0
+        self.resets = 0
+        self.recovered_records = 0  # intact records found at open
+        self.recovered_torn_tail = False
+        existing = os.path.exists(path)
+        self._file = opener(path, "r+b" if existing else "w+b")
+        if existing:
+            replay = _scan(self._file)
+            self.recovered_records = replay.records
+            self.recovered_torn_tail = replay.torn_tail
+            if replay.torn_tail:
+                self._file.truncate(replay.valid_bytes)
+            self._file.seek(replay.valid_bytes)
+        if self.obs is not NULL_OBS:
+            self.obs.register_collector("wal", self.snapshot)
+
+    # -- appends -----------------------------------------------------------
+    def append_put(self, key: int, value: object) -> int:
+        """Log an upsert; returns the record's LSN (1-based append count)."""
+        payload = _KEY.pack(key) + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return self._append([encode_frame(KIND_PUT, payload)])
+
+    def append_delete(self, key: int) -> int:
+        """Log a delete; returns the record's LSN."""
+        return self._append([encode_frame(KIND_DELETE, _KEY.pack(key))])
+
+    def append_puts(self, items: Sequence[Tuple[int, object]]) -> int:
+        """Log a batch of upserts in one append (one fsync under "always")."""
+        frames = [
+            encode_frame(
+                KIND_PUT,
+                _KEY.pack(key) + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+            for key, value in items
+        ]
+        return self._append(frames)
+
+    def _append(self, frames: List[bytes]) -> int:
+        with self._lock:
+            if self._closed:
+                raise WALError("write-ahead log is closed")
+            for frame in frames:
+                self._file.write(frame)
+                self.bytes_written += len(frame)
+            self.records += len(frames)
+            if self.fsync_policy == FSYNC_ALWAYS:
+                fsync_file(self._file)
+                self.syncs += 1
+            elif self.fsync_policy == FSYNC_BATCH:
+                self._file.flush()
+            return self.records
+
+    # -- lifecycle ---------------------------------------------------------
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage."""
+        with self._lock:
+            if self._closed:
+                raise WALError("write-ahead log is closed")
+            fsync_file(self._file)
+            self.syncs += 1
+
+    def reset(self) -> None:
+        """Truncate the log to empty (called once a checkpoint is durable).
+
+        Every logged operation is now redundant with the checkpoint; a
+        crash between the checkpoint rename and this truncation merely
+        replays idempotent upserts/deletes onto state that already
+        contains them.
+        """
+        with self._lock:
+            if self._closed:
+                raise WALError("write-ahead log is closed")
+            self._file.seek(0)
+            self._file.truncate(0)
+            fsync_file(self._file)
+            self.resets += 1
+            self.syncs += 1
+
+    def tail_bytes(self) -> int:
+        """Bytes currently in the log (since the last reset)."""
+        with self._lock:
+            return self._file.tell()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Counters for the ``wal`` obs collector."""
+        return {
+            "records": float(self.records),
+            "bytes": float(self.bytes_written),
+            "syncs": float(self.syncs),
+            "resets": float(self.resets),
+            "recovered_records": float(self.recovered_records),
+            "recovered_torn_tail": float(self.recovered_torn_tail),
+        }

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import BufferpoolFullError
+from repro.errors import BufferpoolFullError, PinViolationError, ReproError
 from repro.storage.bufferpool import BufferPool, PageIdAllocator
 from repro.storage.costmodel import CostModel, Meter
 
@@ -84,8 +84,35 @@ class TestPinning:
 
     def test_unpin_unpinned_raises(self):
         pool = BufferPool()
+        with pytest.raises(PinViolationError):
+            pool.unpin(1)
+
+    def test_unpin_error_is_repro_error(self):
+        """Regression: unpin misuse must be catchable as ReproError (it used
+        to raise a bare ValueError outside the library hierarchy)."""
+        pool = BufferPool()
+        with pytest.raises(ReproError):
+            pool.unpin(1)
+        # Backward compatibility: still a ValueError for old callers.
         with pytest.raises(ValueError):
             pool.unpin(1)
+
+    def test_drop_pinned_raises(self):
+        """Regression: dropping a pinned frame used to silently discard it,
+        corrupting pin accounting (the later unpin then raised)."""
+        pool = BufferPool()
+        pool.pin(1)
+        with pytest.raises(PinViolationError):
+            pool.drop(1)
+        # The frame survived; pin accounting is intact.
+        assert pool.resident == 1
+        pool.unpin(1)
+        pool.drop(1)  # unpinned now: drop succeeds
+        assert pool.resident == 0
+
+    def test_drop_absent_is_noop(self):
+        pool = BufferPool()
+        pool.drop(99)  # never raises for unknown pages
 
 
 class TestDropAndFlush:

@@ -1,0 +1,123 @@
+"""Hypothesis properties for checkpoint save/load and crash atomicity."""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree.btree import BPlusTree, BPlusTreeConfig
+from repro.storage.faults import FaultyEnv, SimulatedCrash
+from repro.storage.pagefile import CheckpointStore
+from repro.storage.wal import WriteAheadLog, replay_wal
+
+TREE_CONFIG = BPlusTreeConfig(leaf_capacity=4, internal_capacity=4)
+SLOT_SIZE = 128
+
+keys = st.integers(min_value=-(2**40), max_value=2**40)
+values = st.one_of(st.integers(), st.text(max_size=20), st.tuples(st.integers()))
+tree_contents = st.dictionaries(keys, values, max_size=120)
+
+
+def _build(items):
+    tree = BPlusTree(TREE_CONFIG)
+    for key, value in items.items():
+        tree.insert(key, value)
+    return tree
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(items=tree_contents)
+    def test_save_load_preserves_contents(self, items, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("ckpt") / "ck.db")
+        store = CheckpointStore(path, slot_size=SLOT_SIZE)
+        store.save_btree(_build(items))
+        restored = store.load_btree()
+        assert dict(restored.iter_items()) == items
+        restored.check_invariants()
+
+    def test_empty_and_single_key(self, tmp_path):
+        path = str(tmp_path / "ck.db")
+        store = CheckpointStore(path, slot_size=SLOT_SIZE)
+        store.save_btree(_build({}))
+        assert dict(store.load_btree().iter_items()) == {}
+        store.save_btree(_build({42: "only"}))
+        assert dict(store.load_btree().iter_items()) == {42: "only"}
+
+    @settings(max_examples=15, deadline=None)
+    @given(trees=st.lists(tree_contents, min_size=2, max_size=5))
+    def test_repeated_saves_shrink_and_grow(self, trees, tmp_path_factory):
+        """Each save fully replaces the last — a smaller second checkpoint
+        must never resurrect the previous checkpoint's directory."""
+        path = str(tmp_path_factory.mktemp("ckpt") / "ck.db")
+        store = CheckpointStore(path, slot_size=SLOT_SIZE)
+        for epoch, items in enumerate(trees, start=1):
+            store.save_btree(_build(items))
+            assert store.last_epoch == epoch
+            assert dict(store.load_btree().iter_items()) == items
+
+
+class TestCrashAtomicity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        before=tree_contents,
+        after=tree_contents,
+        crash_at=st.integers(min_value=0, max_value=120),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_crash_during_save_leaves_previous_loadable(
+        self, before, after, crash_at, seed, tmp_path_factory
+    ):
+        """Load after a crash at any point of a re-save returns either the
+        old checkpoint or the new one, in full — never a torn mix."""
+        path = str(tmp_path_factory.mktemp("ckpt") / "ck.db")
+        store = CheckpointStore(path, slot_size=SLOT_SIZE)
+        store.save_btree(_build(before))
+
+        env = FaultyEnv(crash_at=crash_at, seed=seed)
+        faulty = CheckpointStore(
+            path, slot_size=SLOT_SIZE, opener=env.open, replace=env.replace
+        )
+        completed = True
+        try:
+            faulty.save_btree(_build(after))
+        except SimulatedCrash:
+            completed = False
+
+        restored = CheckpointStore(path, slot_size=SLOT_SIZE).load_btree()
+        got = dict(restored.iter_items())
+        if completed:
+            assert got == after
+        else:
+            assert got in (before, after)
+        restored.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(st.tuples(keys, values), min_size=1, max_size=40),
+        crash_at=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_wal_crash_preserves_acknowledged_prefix(
+        self, ops, crash_at, seed, tmp_path_factory
+    ):
+        """Replay after a crash yields an exact prefix of the appended ops
+        (plus at most the fully-persisted in-flight record)."""
+        path = str(tmp_path_factory.mktemp("wal") / "log.wal")
+        env = FaultyEnv(crash_at=crash_at, seed=seed)
+        acked = 0
+        try:
+            wal = WriteAheadLog(path, opener=env.open)
+            for key, value in ops:
+                wal.append_put(key, value)
+                acked += 1
+            wal.close()
+        except SimulatedCrash:
+            pass
+        if not os.path.exists(path):
+            assert acked == 0
+            return
+        replay = replay_wal(path)
+        assert replay.records in (acked, acked + 1)
+        replayed = [(k, v) for _op, k, v in replay.ops]
+        assert replayed == ops[: replay.records]

@@ -159,6 +159,46 @@ class TestBenchBatch:
         assert main(["perf-gate", str(missing), str(valid)]) == 2
 
 
+class TestRecover:
+    def _populate(self, tmp_path, n=60):
+        from repro.core.config import SWAREConfig
+        from repro.core.factory import make_sa_btree
+        from repro.storage.pagefile import CheckpointStore
+        from repro.storage.wal import WriteAheadLog
+
+        ckpt = str(tmp_path / "index.db")
+        wal_path = str(tmp_path / "index.wal")
+        config = SWAREConfig(buffer_capacity=16, page_size=4)
+        index = make_sa_btree(config)
+        index.wal = WriteAheadLog(wal_path)
+        for key in range(n):
+            index.insert(key, key * 2)
+        CheckpointStore(ckpt, slot_size=256).save_index(index)
+        # Post-checkpoint tail that recovery must replay.
+        index.insert(10_000, "tail")
+        index.wal.close()
+        return ckpt, wal_path
+
+    def test_recover_reports_checkpoint_and_wal(self, tmp_path, capsys):
+        ckpt, wal_path = self._populate(tmp_path)
+        assert main(["recover", ckpt, "--wal", wal_path, "--slot-size", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint : epoch 1" in out
+        assert "wal replay" in out
+        assert "entries" in out
+
+    def test_recover_without_wal(self, tmp_path, capsys):
+        ckpt, _ = self._populate(tmp_path)
+        assert main(["recover", ckpt, "--slot-size", "256"]) == 0
+        assert "wal replay : 0 records" in capsys.readouterr().out
+
+    def test_recover_corrupt_checkpoint_fails(self, tmp_path, capsys):
+        ckpt = tmp_path / "bad.db"
+        ckpt.write_bytes(b"\xff" * 4096)
+        assert main(["recover", str(ckpt)]) == 1
+        assert "recovery failed" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

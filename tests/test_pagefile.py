@@ -64,6 +64,28 @@ class TestPageFile:
         with pytest.raises(ValueError):
             PageFile(path, slot_size=16)
 
+    def test_reopen_resumes_slot_allocation(self, path):
+        """Regression: reopening an existing file must not leave
+        ``_n_slots == 0`` — the next write would silently overwrite slot 0."""
+        with PageFile(path, slot_size=128) as pf:
+            pf.write_page(1, b"original" * 10)
+            slots_before = pf.n_slots
+        with PageFile(path, slot_size=128) as pf:
+            assert pf.n_slots == slots_before  # allocation resumes after disk
+            pf.write_page(2, b"appended")
+            assert pf.read_page(2) == b"appended"
+            # Slot 0's bytes are untouched by the append.
+            assert pf._read_slot(0)[4:14] == b"original" + b"or"
+
+    def test_truncate_resets(self, path):
+        with PageFile(path, slot_size=128) as pf:
+            pf.write_page(1, b"x" * 300)
+            pf.truncate()
+            assert pf.n_slots == 0
+            assert pf.page_ids() == []
+            pf.write_page(2, b"fresh")
+            assert pf.read_page(2) == b"fresh"
+
 
 class TestCheckpointStore:
     def _tree(self, n=400, seed=5):
@@ -146,3 +168,63 @@ class TestCheckpointStore:
         store2.save_btree(second)
         restored = store2.load_btree()
         assert list(restored.iter_items()) == list(second.iter_items())
+
+    def test_smaller_second_checkpoint_wins(self, path):
+        """Regression: re-saving a *smaller* tree to the same path must not
+        resurrect the previous (larger) checkpoint's directory or serve a
+        mix of old directory and new slots."""
+        store = CheckpointStore(path, slot_size=128)
+        large = self._tree(n=400, seed=1)
+        store.save_btree(large)
+        small = self._tree(n=25, seed=2)
+        store.save_btree(small)
+        restored = store.load_btree()
+        assert list(restored.iter_items()) == list(small.iter_items())
+        # And a fresh store (process restart) agrees.
+        again = CheckpointStore(path, slot_size=128).load_btree()
+        assert list(again.iter_items()) == list(small.iter_items())
+
+    def test_epoch_monotonic_across_stores(self, path):
+        store = CheckpointStore(path, slot_size=128)
+        store.save_btree(self._tree(n=30, seed=1))
+        store.save_btree(self._tree(n=30, seed=2))
+        assert store.last_epoch == 2
+        # A new handle resumes after the committed epoch.
+        store2 = CheckpointStore(path, slot_size=128)
+        store2.save_btree(self._tree(n=30, seed=3))
+        assert store2.last_epoch == 3
+        CheckpointStore(path, slot_size=128).load_btree()
+
+    def test_corrupt_footer_fails_cleanly(self, path):
+        store = CheckpointStore(path, slot_size=128)
+        store.save_btree(self._tree(n=50, seed=4))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 10)  # inside the footer
+            handle.write(b"\xff\xff")
+        with pytest.raises(PageFileError):
+            CheckpointStore(path, slot_size=128).load_btree()
+
+    def test_corrupt_directory_fails_cleanly(self, path):
+        store = CheckpointStore(path, slot_size=128)
+        store.save_btree(self._tree(n=50, seed=4))
+        n_slots = os.path.getsize(path) // 128
+        with open(path, "r+b") as handle:
+            handle.seek((n_slots - 1) * 128 + 40)  # inside the directory pickle
+            handle.write(b"\x00\x00\x00")
+        with pytest.raises(PageFileError):
+            CheckpointStore(path, slot_size=128).load_btree()
+
+    def test_truncated_file_fails_cleanly(self, path):
+        store = CheckpointStore(path, slot_size=128)
+        store.save_btree(self._tree(n=50, seed=4))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(PageFileError):
+            CheckpointStore(path, slot_size=128).load_btree()
+
+    def test_save_is_atomic_no_tmp_left_behind(self, path):
+        store = CheckpointStore(path, slot_size=128)
+        store.save_btree(self._tree(n=50, seed=4))
+        assert not os.path.exists(store.tmp_path)
