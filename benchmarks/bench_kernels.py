@@ -1,0 +1,33 @@
+"""Kernel backend bench (numpy-vectorized vs pure-Python hot paths).
+
+Regenerates the numbers behind ``results/BENCH_kernels.json`` — the
+artifact the CI kernel perf gate compares against. ``python -m repro
+bench-kernels --json results/BENCH_kernels.json`` produces the committed
+baseline; this pytest wrapper runs the same experiment at a
+REPRO_SCALE-able size and sanity-checks the acceptance-critical speedups
+whenever the numpy backend is importable.
+"""
+
+from repro import kernels
+from repro.bench.experiments import kernels as kernels_exp
+
+N = 50_000
+METRIC_N = 20_000
+
+
+def test_kernels(run_experiment):
+    result = run_experiment(
+        "kernels", kernels_exp.run, n=N, metric_n=METRIC_N, repeats=2
+    )
+    for gauge, value in result.throughputs.items():
+        assert value > 0, gauge
+    if not kernels.numpy_available():
+        assert result.backends == ["python"]
+        assert not result.speedups
+        return
+    assert result.backends == ["python", "numpy"]
+    # The acceptance-critical ratios (wall-clock, so keep margins loose at
+    # bench scale; the committed full-scale baseline documents the real ones).
+    assert result.speedups["bloom_add_many"] > 2.0
+    assert result.speedups["buffer_add_to_flush"] > 1.2
+    assert result.speedups["hash_splitmix64"] > 1.0

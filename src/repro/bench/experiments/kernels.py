@@ -1,0 +1,248 @@
+"""Kernel-layer throughput: numpy-vectorized vs pure-Python backends.
+
+Not a paper figure — this measures the dispatch layer of
+:mod:`repro.kernels` on the library's hot paths, running the *same* code
+under both backends (``use_backend``): batch hashing, Bloom ``add_many`` /
+``may_contain_many``, the SWARE-buffer add→flush cycle, the sortedness
+metrics, and an end-to-end SA B+-tree ``put_many``/``get_many`` workload.
+Like ``batch_ops``, the interesting number is wall-clock: both backends are
+bit-identical in results (see ``tests/test_kernels_equivalence.py``), so the
+ratio isolates what vectorization buys.
+
+Throughputs are published as ``kernels_<component>_<backend>_<phase>_ops_per_s``
+gauges plus ``kernels_<component>_<phase>_speedup_x`` ratios, flowing into
+``results/BENCH_kernels.json`` where the CI perf gate tracks them. When
+numpy is not importable only the python gauges are emitted.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro import kernels
+from repro.bench.experiments import common
+from repro.bench.report import format_table
+from repro.bench.runner import PhaseResult, RunResult
+from repro.core.buffer import SWAREBuffer
+from repro.filters.bloom import BloomFilter
+from repro.obs import current_obs
+from repro.sortedness import metrics
+from repro.storage.costmodel import Meter
+from repro.workloads.spec import value_for
+
+
+@dataclass
+class KernelsResult:
+    report: str
+    #: gauge name -> operations per second (wall clock)
+    throughputs: Dict[str, float]
+    #: "<component>_<phase>" -> numpy/python speedup
+    speedups: Dict[str, float]
+    backends: List[str] = field(default_factory=list)
+    runs: List[RunResult] = field(default_factory=list)
+
+
+def _ops_per_s(n_ops: int, wall_ns: float) -> float:
+    return n_ops / wall_ns * 1e9 if wall_ns else 0.0
+
+
+def _timed(result: RunResult, name: str, n_ops: int, fn) -> None:
+    start = time.perf_counter_ns()
+    fn()
+    result.phases.append(
+        PhaseResult(
+            name=name, n_ops=n_ops, sim_ns=0.0, wall_ns=time.perf_counter_ns() - start
+        )
+    )
+
+
+def _measure_hash(keys, label: str) -> RunResult:
+    result = RunResult(label=label)
+    n = len(keys)
+    _timed(result, "splitmix64", n, lambda: kernels.shared_bases(keys, "splitmix64"))
+    _timed(result, "murmur3", n, lambda: kernels.shared_bases(keys, "murmur3"))
+    return result
+
+
+def _measure_bloom(keys, probe_keys, label: str) -> RunResult:
+    result = RunResult(label=label)
+    bf = BloomFilter(len(keys))
+    _timed(result, "add_many", len(keys), lambda: bf.add_many(keys))
+    _timed(
+        result,
+        "contains_many",
+        len(probe_keys),
+        lambda: bf.may_contain_many(probe_keys),
+    )
+    _timed(result, "saturation", 1, lambda: bf.saturation)
+    result.counts = {
+        "n_added": bf.n_added,
+        "probe_count": bf.probe_count,
+        "saturation": bf.saturation,
+    }
+    return result
+
+
+def _measure_buffer(pairs, config, label: str) -> RunResult:
+    """The ingestion cycle the acceptance criteria gate: add_many → flush."""
+    result = RunResult(label=label)
+    buf = SWAREBuffer(config)
+
+    def work() -> None:
+        i = 0
+        total = len(pairs)
+        while i < total:
+            room = max(1, buf.capacity - len(buf))
+            chunk = pairs[i : i + room]
+            buf.add_many(chunk)
+            i += len(chunk)
+            if buf.is_full:
+                buf.prepare_flush()
+        buf.drain()
+
+    _timed(result, "add_to_flush", len(pairs), work)
+    result.sware_stats = buf.stats.snapshot()
+    return result
+
+
+def _measure_metrics(keys, label: str) -> RunResult:
+    result = RunResult(label=label)
+    n = len(keys)
+    _timed(result, "inversions", n, lambda: metrics.count_inversions(keys))
+    _timed(result, "displacement", n, lambda: metrics.max_displacement(keys))
+    _timed(result, "runs", n, lambda: metrics.count_runs(keys))
+    _timed(result, "out_of_order", n, lambda: metrics.count_out_of_order(keys))
+    return result
+
+
+def _measure_sa_btree(items, lookup_keys, batch: int, factory, label: str) -> RunResult:
+    result = RunResult(label=label)
+    index = factory(Meter())
+
+    def puts() -> None:
+        put_many = index.put_many
+        for i in range(0, len(items), batch):
+            put_many(items[i : i + batch])
+
+    def gets() -> None:
+        get_many = index.get_many
+        for i in range(0, len(lookup_keys), batch):
+            get_many(lookup_keys[i : i + batch])
+
+    _timed(result, "put_many", len(items), puts)
+    _timed(result, "get_many", len(lookup_keys), gets)
+    result.sware_stats = index.stats.snapshot()
+    return result
+
+
+def run(
+    n: int = 100_000,
+    metric_n: int = 50_000,
+    batch: int = 8192,
+    k_fraction: float = 0.10,
+    l_fraction: float = 0.05,
+    buffer_fraction: float = 0.01,
+    repeats: int = 3,
+    seed: int = 7,
+) -> KernelsResult:
+    n = common.scaled(n)
+    metric_n = common.scaled(metric_n)
+    keys = list(common.keys_for(n, k_fraction, l_fraction, seed=seed))
+    probe_keys = list(keys)
+    random.Random(seed + 31).shuffle(probe_keys)
+    metric_keys = list(common.keys_for(metric_n, k_fraction, l_fraction, seed=seed + 1))
+    items = [(key, value_for(key)) for key in keys]
+    lookup_keys = list(keys)
+    random.Random(seed + 101).shuffle(lookup_keys)
+    buffer_cfg = common.buffer_config(n, buffer_fraction)
+    sa_factory = common.sa_btree_factory(buffer_cfg)
+
+    components = [
+        ("hash", lambda label: _measure_hash(keys, label)),
+        ("bloom", lambda label: _measure_bloom(keys, probe_keys, label)),
+        ("buffer", lambda label: _measure_buffer(items, buffer_cfg, label)),
+        ("metrics", lambda label: _measure_metrics(metric_keys, label)),
+        (
+            "sa_btree",
+            lambda label: _measure_sa_btree(items, lookup_keys, batch, sa_factory, label),
+        ),
+    ]
+
+    backends = ["python"]
+    if kernels.numpy_available():
+        backends.append("numpy")
+
+    obs = current_obs()
+    throughputs: Dict[str, float] = {}
+    speedups: Dict[str, float] = {}
+    runs: List[RunResult] = []
+    rows = []
+    # Per-phase best of ``repeats`` identical runs (same rationale as
+    # batch_ops: throughput is a property of the code, the slow samples
+    # measure machine noise).
+    best: Dict[str, Dict[str, float]] = {}
+    for component, measure in components:
+        for backend in backends:
+            label = f"{component}_{backend}"
+            with kernels.use_backend(backend):
+                samples = [measure(label) for _ in range(max(1, repeats))]
+            result = min(samples, key=lambda r: r.wall_ns)
+            runs.append(result)
+            obs.record_run(result.to_dict())
+            best[label] = {
+                phase.name: min(s.phase(phase.name).wall_ns for s in samples)
+                for phase in result.phases
+            }
+            for phase in result.phases:
+                wall = best[label][phase.name]
+                gauge = f"kernels_{label}_{phase.name}_ops_per_s"
+                throughputs[gauge] = _ops_per_s(phase.n_ops, wall)
+                rows.append(
+                    [
+                        component,
+                        phase.name,
+                        backend,
+                        f"{phase.n_ops:,}",
+                        f"{wall / 1e6:.1f}",
+                        f"{throughputs[gauge] / 1e3:.0f}",
+                    ]
+                )
+        if "numpy" in backends:
+            python_walls = best[f"{component}_python"]
+            numpy_walls = best[f"{component}_numpy"]
+            for phase_name, python_wall in python_walls.items():
+                numpy_wall = numpy_walls[phase_name]
+                ratio = python_wall / numpy_wall if numpy_wall else float("inf")
+                speedups[f"{component}_{phase_name}"] = ratio
+
+    for gauge, value in throughputs.items():
+        obs.gauge(gauge, value)
+    for name, value in speedups.items():
+        obs.gauge(f"kernels_{name}_speedup_x", value)
+
+    table = format_table(
+        ["component", "phase", "backend", "ops", "wall ms", "kops/s"], rows
+    )
+    lines = [
+        f"Kernel backend throughput (n={n:,}, metric_n={metric_n:,}, "
+        f"K={k_fraction:.0%}, L={l_fraction:.0%}; backends: {', '.join(backends)})",
+        "",
+        table,
+        "",
+    ]
+    if "numpy" in backends:
+        for name, value in sorted(speedups.items()):
+            lines.append(f"{name}: numpy is {value:.2f}x python")
+    else:
+        lines.append("numpy unavailable: python backend only, no speedup ratios")
+    report = "\n".join(lines)
+    return KernelsResult(
+        report=report,
+        throughputs=throughputs,
+        speedups=speedups,
+        backends=backends,
+        runs=runs,
+    )

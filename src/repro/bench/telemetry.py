@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import kernels
 from repro.bench.report import results_dir
 from repro.obs import Observability
 
@@ -30,6 +32,24 @@ SCHEMA = "repro-bench/v1"
 
 _PHASE_FIELDS = ("name", "n_ops", "sim_ns", "wall_ns")
 _HISTOGRAM_FIELDS = ("buckets", "counts", "sum", "count", "p50", "p95", "p99")
+
+
+def bench_meta() -> Dict[str, object]:
+    """The environment stamp every artifact carries in its ``meta`` block.
+
+    Perf-gate comparisons refuse to cross kernel backends (a numpy run
+    "regressing" against a python baseline, or vice versa, is a measurement
+    artifact, not a perf change), so the backend has to travel with the
+    numbers.
+    """
+    info = kernels.backend_info()
+    return {
+        "kernel_backend": info["kernel_backend"],
+        "numpy_version": info["numpy_version"],
+        "python_version": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }
 
 
 def build_bench_artifact(
@@ -44,6 +64,7 @@ def build_bench_artifact(
         "experiment": experiment,
         "created_unix": time.time(),
         "repro_scale": float(os.environ.get("REPRO_SCALE", "1.0")),
+        "meta": bench_meta(),
         "runs": list(obs.runs),
         "metrics": obs.registry.snapshot(),
         "trace": {
@@ -66,6 +87,21 @@ def validate_bench_artifact(doc: object) -> List[str]:
         errors.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
     if not isinstance(doc.get("experiment"), str) or not doc.get("experiment"):
         errors.append("experiment must be a non-empty string")
+
+    # ``meta`` is validated only when present: pre-kernel-layer artifacts
+    # (and hand-trimmed fixtures in the obs tests) legitimately omit it.
+    meta = doc.get("meta")
+    if meta is not None:
+        if not isinstance(meta, dict):
+            errors.append("meta must be an object")
+        else:
+            if meta.get("kernel_backend") not in ("python", "numpy"):
+                errors.append(
+                    "meta.kernel_backend must be 'python' or 'numpy', "
+                    f"got {meta.get('kernel_backend')!r}"
+                )
+            if not isinstance(meta.get("python_version"), str):
+                errors.append("meta.python_version must be a string")
 
     runs = doc.get("runs")
     if not isinstance(runs, list) or not runs:

@@ -28,9 +28,9 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from operator import itemgetter
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.errors import BulkLoadError, ConfigError, InvariantViolation
 from repro.btree.node import InternalNode, LeafNode
 from repro.obs import DEFAULT_SIZE_BUCKETS, NULL_OBS, Observability, current_obs
@@ -235,19 +235,23 @@ class BPlusTree:
         """
         if not items:
             return 0
-        batch = sorted(items, key=itemgetter(0))
+        batch = kernels.sort_items_by_key(items)
         first_key = batch[0][0]
         if self._max_key is None or first_key > self._max_key:
-            strictly_increasing = all(
-                batch[i - 1][0] < batch[i][0] for i in range(1, len(batch))
-            )
-            if strictly_increasing:
+            if kernels.keys_strictly_increasing(batch):
                 before = self.n_entries
                 self.bulk_load_append(batch)
                 return self.n_entries - before
         self._ensure_root()
         nb = len(batch)
+        # A sequential upsert replay would make the later duplicate overwrite
+        # the earlier one in place, so dropping all but the last version of a
+        # key before the walk changes neither the final tree, the created
+        # count, nor the entry_move charges — the batch still bills nb
+        # top-inserts because that is how many operations it stands for.
         self.top_inserts += nb
+        batch = kernels.dedup_sorted_items(batch)
+        nb = len(batch)
         created = 0
         entry_moves = 0
         leaf_capacity = self.config.leaf_capacity

@@ -24,6 +24,10 @@ Commands
     Run the thread-safe front-end under N threads of mixed put/get/range
     ops (invariants checked at exit) and, with ``--json``, write the
     ``BENCH_concurrent.json`` telemetry artifact.
+``bench-kernels``
+    Run every repro.kernels hot-path kernel under both backends (numpy
+    vs pure Python) plus an end-to-end SA B+-tree batch workload, and,
+    with ``--json``, write the ``BENCH_kernels.json`` telemetry artifact.
 ``perf-gate``
     Compare the throughput gauges of two bench artifacts (committed
     baseline vs fresh run); exits non-zero on regressions beyond the
@@ -68,6 +72,7 @@ EXPERIMENTS = [
     "lsm_sortedness",
     "batch_ops",
     "concurrent_ops",
+    "kernels",
 ]
 
 
@@ -145,6 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="observe the run and write the BENCH_concurrent.json telemetry artifact",
+    )
+
+    kern = sub.add_parser(
+        "bench-kernels",
+        help="kernel backend bench: numpy vs python on every hot-path kernel",
+    )
+    kern.add_argument("--n", type=int, default=None, help="override workload size")
+    kern.add_argument(
+        "--metric-n", type=int, default=None, help="override metric workload size"
+    )
+    kern.add_argument(
+        "--repeats", type=int, default=None, help="best-of repeats per config"
+    )
+    kern.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="observe the run and write the BENCH_kernels.json telemetry artifact",
     )
 
     gate = sub.add_parser(
@@ -342,6 +366,17 @@ def _cmd_bench_concurrent(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    if args.metric_n is not None:
+        kwargs["metric_n"] = args.metric_n
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    return _run_experiment_with_telemetry("kernels", kwargs, args.json)
+
+
 def _cmd_perf_gate(args: argparse.Namespace) -> int:
     import json
 
@@ -446,6 +481,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "bench-batch": _cmd_bench_batch,
         "bench-concurrent": _cmd_bench_concurrent,
+        "bench-kernels": _cmd_bench_kernels,
         "perf-gate": _cmd_perf_gate,
         "recover": _cmd_recover,
         "stats": _cmd_stats,

@@ -34,16 +34,16 @@ newest).
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from heapq import merge as heap_merge
 from typing import List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.core.config import SWAREConfig
 from repro.core.stats import SWAREStats
 from repro.core.zonemap import PageZonemaps, Zonemap
 from repro.filters.bloom import BloomFilter
-from repro.filters.hashing import SharedHash, shared_bases
+from repro.filters.hashing import SharedHash
 from repro.search.interpolation import interpolation_search
 from repro.sortedness.klsort import kl_sort
 from repro.sortedness.metrics import RunningSortednessEstimate
@@ -119,8 +119,10 @@ class SWAREBuffer:
         )
         self._page_bfs: List[BloomFilter] = []
         # Set when the tail is known sorted (used by range queries to avoid
-        # re-sorting, reset by any new tail append).
+        # re-sorting, reset by any new tail append), plus the lazily built
+        # key column of that sorted tail for searchsorted range probes.
         self._tail_sorted_cache: Optional[List[Entry]] = None
+        self._tail_keys_cache = None
         self.kl_estimate = RunningSortednessEstimate()
 
     # ------------------------------------------------------------------
@@ -190,6 +192,7 @@ class SWAREBuffer:
         position = len(self._tail)
         self._tail.append(entry)
         self._tail_sorted_cache = None
+        self._tail_keys_cache = None
         # The page-Zonemap update is upkeep already priced into
         # ``buffer_append`` (like the whole-buffer Zonemap above); charging a
         # ``zonemap_check`` here would double-bill relative to the in-order
@@ -251,12 +254,10 @@ class SWAREBuffer:
         seq = self._seq
         split = 0
         if not self._blocks and not self._tail:
-            # One pass finds the longest prefix that continues the in-order
-            # run of the main section; everything after it starts the tail.
+            # The longest prefix that continues the in-order run of the main
+            # section; everything after it starts the tail.
             last = self._main_keys[-1] if self._main_keys else None
-            while split < n and (last is None or keys[split] >= last):
-                last = keys[split]
-                split += 1
+            split = kernels.nondecreasing_prefix_len(keys, last)
             if split:
                 main = self._main
                 for key, value in pairs[:split]:
@@ -272,13 +273,14 @@ class SWAREBuffer:
                 seq += 1
                 tail.append((key, seq, value, False))
             self._tail_sorted_cache = None
+            self._tail_keys_cache = None
             self.page_zonemaps.observe_many(start, rest_keys)
             lowest = min(rest_keys)
             if self._min_after_main is None or lowest < self._min_after_main:
                 self._min_after_main = lowest
             cfg = self.config
             bases = (
-                shared_bases(rest_keys, cfg.hash_family)
+                kernels.shared_bases(rest_keys, cfg.hash_family)
                 if self.global_bf is not None or cfg.enable_page_bf
                 else None
             )
@@ -402,11 +404,11 @@ class SWAREBuffer:
                     "sort_comparison", n * max(1, (capacity).bit_length())
                 )
             except KLSortCapacityError:
-                sorted_tail = sorted(self._tail, key=lambda e: (e[0], e[1]))
+                sorted_tail = kernels.sort_tail_entries(self._tail)
                 self.stats.stable_sorts += 1
                 self.meter.charge("sort_comparison", n * max(1, n.bit_length()))
         else:
-            sorted_tail = sorted(self._tail, key=lambda e: (e[0], e[1]))
+            sorted_tail = kernels.sort_tail_entries(self._tail)
             self.stats.stable_sorts += 1
             self.meter.charge("sort_comparison", n * max(1, n.bit_length()))
         self.stats.sorted_entries += n
@@ -424,7 +426,7 @@ class SWAREBuffer:
             return []
         if len(streams) == 1:
             return list(streams[0])
-        merged = list(heap_merge(*streams, key=lambda e: (e[0], e[1])))
+        merged = kernels.merge_entry_streams(streams)
         self.meter.charge("merge_step", len(merged))
         return merged
 
@@ -445,6 +447,7 @@ class SWAREBuffer:
         self._blocks = []
         self._tail = []
         self._tail_sorted_cache = None
+        self._tail_keys_cache = None
         self._min_after_main = None
         self.page_zonemaps.reset()
         if self.global_bf is not None:
@@ -477,6 +480,7 @@ class SWAREBuffer:
         self.stats.query_sorts += 1
         self._tail = []
         self._tail_sorted_cache = None
+        self._tail_keys_cache = None
         self.page_zonemaps.reset()
         if self.global_bf is not None:
             self.global_bf.clear()
@@ -584,8 +588,7 @@ class SWAREBuffer:
         sorted_tail, _ = self._sort_tail()
         streams: List[List[Entry]] = []
         for entries, keys in self._iter_sorted_components(sorted_tail):
-            left = bisect_left(keys, lo)
-            right = bisect_right(keys, hi)
+            left, right = kernels.searchsorted_range(keys, lo, hi)
             if left < right:
                 streams.append(entries[left:right])
             self.meter.charge("interp_step", 2)
@@ -596,7 +599,9 @@ class SWAREBuffer:
         for block in self._blocks:
             yield block.entries, block.keys
         if sorted_tail:
-            yield sorted_tail, [entry[0] for entry in sorted_tail]
+            if self._tail_keys_cache is None:
+                self._tail_keys_cache = kernels.key_column(sorted_tail)
+            yield sorted_tail, self._tail_keys_cache
 
     # ------------------------------------------------------------------
     # introspection / debugging

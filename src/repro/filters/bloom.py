@@ -15,17 +15,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
-from repro.filters.hashing import SharedHash, rotate64, shared_bases
-
-_MASK32 = 0xFFFFFFFF
-
-
-def _popcount(value: int) -> int:
-    """Set-bit count: ``int.bit_count`` on 3.10+, ``bin`` fallback on 3.9."""
-    try:
-        return value.bit_count()
-    except AttributeError:  # pragma: no cover - Python 3.9 only
-        return bin(value).count("1")
+from repro import kernels
+from repro.filters.hashing import SharedHash
 
 
 def optimal_num_probes(bits_per_entry: float) -> int:
@@ -79,7 +70,11 @@ class BloomFilter:
         self.n_probes = n_probes if n_probes is not None else optimal_num_probes(bits_per_entry)
         self.hash_family = hash_family
         self.rotation = rotation
-        self._bits = bytearray((self.n_bits + 7) // 8)
+        # Padded to a whole number of 64-bit words so the numpy backend can
+        # view the store as uint64 without copying; probe positions are all
+        # < n_bits, so the padding bits are never set and the single-key
+        # byte-path bit patterns are unchanged.
+        self._bits = bytearray(((self.n_bits + 63) // 64) * 8)
         self.n_added = 0
         self.probe_count = 0
 
@@ -119,64 +114,33 @@ class BloomFilter:
         ``bases`` lets callers share one batch of base hashes across several
         filters (the batch form of ``add_shared``). Probe positions are the
         same Kirsch–Mitzenmacher sequence as :meth:`add`, so the resulting
-        bit pattern is identical to adding the keys one by one. Set bits are
-        accumulated per 64-bit word and folded into the byte array with one
-        read-OR-write per touched word instead of one poke per probe.
+        bit pattern is identical to adding the keys one by one. The bit
+        setting itself is a kernel: word-accumulated on the python backend,
+        ``np.bitwise_or.at`` over the uint64 view on the numpy backend.
         """
         if not keys:
             return
         if bases is None:
-            bases = shared_bases(keys, self.hash_family)
-        rotation = self.rotation
-        n_bits = self.n_bits
-        n_probes = self.n_probes
-        words = {}
-        get = words.get
-        for base in bases:
-            if rotation:
-                base = rotate64(base, rotation)
-            h1 = base & _MASK32
-            h2 = (base >> 32) | 1
-            for i in range(n_probes):
-                pos = (h1 + i * h2) % n_bits
-                word = pos >> 6
-                words[word] = get(word, 0) | (1 << (pos & 63))
-        bits = self._bits
-        n_bytes = len(bits)
-        for word, mask in words.items():
-            start = word << 3
-            stop = min(start + 8, n_bytes)
-            width = stop - start
-            merged = int.from_bytes(bits[start:stop], "little") | mask
-            bits[start:stop] = merged.to_bytes(width, "little")
+            bases = kernels.shared_bases(keys, self.hash_family)
+        kernels.bloom_add_many(self._bits, bases, self.n_probes, self.n_bits, self.rotation)
         self.n_added += len(keys)
 
     def may_contain_many(
         self, keys: Sequence[int], bases: Optional[Sequence[int]] = None
     ) -> List[bool]:
-        """Batch membership probes (one hash pass, early exit per key)."""
+        """Batch membership probes (one hash pass over the whole batch).
+
+        ``probe_count`` accounting stays here, outside the kernels, so the
+        counters agree with a :meth:`may_contain` loop over the same keys on
+        either backend.
+        """
         if not keys:
             return []
         if bases is None:
-            bases = shared_bases(keys, self.hash_family)
-        rotation = self.rotation
-        n_bits = self.n_bits
-        n_probes = self.n_probes
-        bits = self._bits
-        out: List[bool] = []
-        append = out.append
-        for base in bases:
-            if rotation:
-                base = rotate64(base, rotation)
-            h1 = base & _MASK32
-            h2 = (base >> 32) | 1
-            hit = True
-            for i in range(n_probes):
-                pos = (h1 + i * h2) % n_bits
-                if not bits[pos >> 3] & (1 << (pos & 7)):
-                    hit = False
-                    break
-            append(hit)
+            bases = kernels.shared_bases(keys, self.hash_family)
+        out = kernels.bloom_contains_many(
+            self._bits, bases, self.n_probes, self.n_bits, self.rotation
+        )
         self.probe_count += len(keys)
         return out
 
@@ -197,8 +161,13 @@ class BloomFilter:
 
     @property
     def saturation(self) -> float:
-        """Fraction of bits set — a cheap health metric for tests."""
-        return _popcount(int.from_bytes(self._bits, "little")) / self.n_bits
+        """Fraction of bits set — a cheap health metric for tests and obs.
+
+        Counted in bounded chunks (or vectorized) by the popcount kernel;
+        the old implementation converted the whole bit array into a single
+        bignum on every call, which obs hits once per flush cycle.
+        """
+        return kernels.popcount_bytes(self._bits) / self.n_bits
 
     def expected_fpr(self) -> float:
         """Theoretical false-positive rate at the current load."""

@@ -1,0 +1,396 @@
+"""NumPy-vectorized kernels.
+
+Drop-in replacements for :mod:`repro.kernels.python_kernels` that operate on
+whole arrays instead of per-element Python loops. Every function returns
+*bit-identical* results to its pure-Python twin (same Bloom bit patterns,
+same stable sort orders, same metric values) — only the wall-clock changes.
+The equivalence contract is enforced by ``tests/test_kernels_equivalence.py``.
+
+All 64-bit hash arithmetic runs on ``uint64`` arrays, where NumPy's
+wraparound multiplication/addition is exactly the ``& 0xFFFF...FFFF`` masking
+the scalar implementations perform. Inputs that do not fit a NumPy integer
+dtype (arbitrary-precision Python ints, mixed objects) make each kernel fall
+back to the pure-Python implementation for that call, so behaviour never
+depends on value ranges.
+
+This module must only be imported through :mod:`repro.kernels`, which guards
+the ``import numpy`` behind availability checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels import python_kernels as _py
+
+_M32 = np.uint64(0xFFFFFFFF)
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Raised internally when an input cannot be represented as a NumPy integer
+#: array; the public kernels catch it and delegate to the Python backend.
+class _Fallback(Exception):
+    pass
+
+
+_FALLBACK_ERRORS = (_Fallback, OverflowError, TypeError, ValueError)
+
+
+def _int_array(values) -> np.ndarray:
+    """``values`` as an integer ndarray, or :class:`_Fallback`."""
+    arr = values if isinstance(values, np.ndarray) else np.asarray(values)
+    if arr.dtype.kind not in "iu":
+        raise _Fallback
+    return arr
+
+
+def _u64_array(values) -> np.ndarray:
+    """``values`` reduced mod 2**64 as a uint64 ndarray, or :class:`_Fallback`.
+
+    ``astype(uint64)`` on a signed array is two's-complement wraparound —
+    the same ``key & _MASK64`` the scalar hashes apply to negative keys.
+    """
+    return _int_array(values).astype(np.uint64, copy=False)
+
+
+# ----------------------------------------------------------------------
+# hashing / Bloom filters
+# ----------------------------------------------------------------------
+def _splitmix64_arr(keys: np.ndarray, seed: int = 0) -> np.ndarray:
+    offset = np.uint64((seed * _GOLDEN + _GOLDEN) & _MASK64)
+    z = keys + offset
+    z = (z ^ (z >> np.uint64(30))) * _MIX1
+    z = (z ^ (z >> np.uint64(27))) * _MIX2
+    return z ^ (z >> np.uint64(31))
+
+
+def _murmur3_32_block8(lo32: np.ndarray, hi32: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorized murmur3_32 over 8-byte keys split into two LE 32-bit blocks.
+
+    Mirrors ``hashing.murmur3_32`` specialised to ``len(data) == 8``: two
+    block rounds, no tail bytes, then the finalization mix. Work happens in
+    uint64 lanes masked back to 32 bits after every step, matching the
+    scalar code's ``& _MASK32``.
+    """
+    c1 = np.uint64(0xCC9E2D51)
+    c2 = np.uint64(0x1B873593)
+    h = np.full(lo32.shape, np.uint64(seed & 0xFFFFFFFF), dtype=np.uint64)
+    for block in (lo32, hi32):
+        k = (block * c1) & _M32
+        k = ((k << np.uint64(15)) | (k >> np.uint64(17))) & _M32
+        k = (k * c2) & _M32
+        h = h ^ k
+        h = ((h << np.uint64(13)) | (h >> np.uint64(19))) & _M32
+        h = (h * np.uint64(5) + np.uint64(0xE6546B64)) & _M32
+    h = h ^ np.uint64(8)  # ^= length
+    h = h ^ (h >> np.uint64(16))
+    h = (h * np.uint64(0x85EBCA6B)) & _M32
+    h = h ^ (h >> np.uint64(13))
+    h = (h * np.uint64(0xC2B2AE35)) & _M32
+    return h ^ (h >> np.uint64(16))
+
+
+def _murmur3_64_arr(keys: np.ndarray, seed: int = 0) -> np.ndarray:
+    lo32 = keys & _M32
+    hi32 = keys >> np.uint64(32)
+    lo = _murmur3_32_block8(lo32, hi32, seed)
+    hi = _murmur3_32_block8(lo32, hi32, seed ^ 0x9E3779B9)
+    return (hi << np.uint64(32)) | lo
+
+
+def shared_bases(keys: Sequence[int], family: str = "splitmix64", seed: int = 0):
+    """One 64-bit base hash per key, as a uint64 array."""
+    try:
+        arr = _u64_array(keys)
+    except _FALLBACK_ERRORS:
+        return _py.shared_bases(keys, family, seed)
+    if family == "splitmix64":
+        return _splitmix64_arr(arr, seed)
+    if family == "murmur3":
+        return _murmur3_64_arr(arr, seed)
+    raise ValueError(f"unknown hash family: {family!r}")
+
+
+def splitmix64_many(keys: Sequence[int], seed: int = 0):
+    try:
+        arr = _u64_array(keys)
+    except _FALLBACK_ERRORS:
+        return _py.splitmix64_many(keys, seed)
+    return _splitmix64_arr(arr, seed)
+
+
+def murmur3_64_many(keys: Sequence[int], seed: int = 0):
+    try:
+        arr = _u64_array(keys)
+    except _FALLBACK_ERRORS:
+        return _py.murmur3_64_many(keys, seed)
+    return _murmur3_64_arr(arr, seed)
+
+
+def _probe_matrix(bases: np.ndarray, n_probes: int, n_bits: int, rotation: int) -> np.ndarray:
+    """Kirsch–Mitzenmacher probe positions, shape ``(n_keys, n_probes)``.
+
+    ``h1 + i*h2`` stays far below 2**64 (h1, h2 < 2**32, i small), so the
+    uint64 arithmetic is exact — no wraparound before the modulo, exactly
+    like the arbitrary-precision scalar path.
+    """
+    if rotation:
+        r = np.uint64(rotation & 63)
+        bases = (bases << r) | (bases >> (np.uint64(64) - r))
+    h1 = bases & _M32
+    h2 = (bases >> np.uint64(32)) | np.uint64(1)
+    i = np.arange(n_probes, dtype=np.uint64)
+    return (h1[:, None] + i[None, :] * h2[:, None]) % np.uint64(n_bits)
+
+
+def bloom_add_many(
+    bits: bytearray,
+    bases: Sequence[int],
+    n_probes: int,
+    n_bits: int,
+    rotation: int = 0,
+) -> None:
+    try:
+        base_arr = _u64_array(bases)
+    except _FALLBACK_ERRORS:
+        _py.bloom_add_many(bits, bases, n_probes, n_bits, rotation)
+        return
+    if base_arr.size == 0:
+        return
+    pos = _probe_matrix(base_arr, n_probes, n_bits, rotation)
+    # Mark probe positions in a bool scratch (duplicate positions are plain
+    # overwrites, no ufunc.at needed), pack little-endian — bit p lands in
+    # byte p>>3 at bit p&7, the byte path's exact layout — and OR the packed
+    # block into the store in one vector op.
+    scratch = np.zeros(len(bits) * 8, dtype=bool)
+    scratch[pos.ravel().astype(np.intp)] = True
+    packed = np.packbits(scratch, bitorder="little")
+    view = np.frombuffer(bits, dtype=np.uint8)
+    np.bitwise_or(view, packed, out=view)
+
+
+def bloom_contains_many(
+    bits: bytearray,
+    bases: Sequence[int],
+    n_probes: int,
+    n_bits: int,
+    rotation: int = 0,
+) -> List[bool]:
+    try:
+        base_arr = _u64_array(bases)
+    except _FALLBACK_ERRORS:
+        return _py.bloom_contains_many(bits, bases, n_probes, n_bits, rotation)
+    if base_arr.size == 0:
+        return []
+    pos = _probe_matrix(base_arr, n_probes, n_bits, rotation)
+    byte_view = np.frombuffer(bits, dtype=np.uint8)
+    byte_idx = (pos >> np.uint64(3)).astype(np.intp)
+    shift = (pos & np.uint64(7)).astype(np.uint8)
+    probe_hits = (byte_view[byte_idx] >> shift) & np.uint8(1)
+    return probe_hits.all(axis=1).tolist()
+
+
+def popcount_bytes(buf) -> int:
+    arr = np.frombuffer(buf, dtype=np.uint8)
+    if arr.size == 0:
+        return 0
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return int(np.bitwise_count(arr).sum(dtype=np.int64))
+    return int(np.unpackbits(arr).sum(dtype=np.int64))  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# buffer primitives
+# ----------------------------------------------------------------------
+def nondecreasing_prefix_len(keys: Sequence[int], last: Optional[int]) -> int:
+    n = len(keys)
+    if n == 0:
+        return 0
+    try:
+        arr = _int_array(keys)
+    except _FALLBACK_ERRORS:
+        return _py.nondecreasing_prefix_len(keys, last)
+    # Position i continues the run iff keys[i] >= max(last, keys[:i]); once
+    # keys[0] >= last holds, the running max dominates ``last`` everywhere
+    # after it, so only position 0 needs the explicit comparison.
+    ok = np.empty(n, dtype=bool)
+    ok[0] = last is None or bool(arr[0] >= last)
+    if n > 1:
+        cummax = np.maximum.accumulate(arr[:-1])
+        np.greater_equal(arr[1:], cummax, out=ok[1:])
+    bad = np.flatnonzero(~ok)
+    return int(bad[0]) if bad.size else n
+
+
+def _entry_order(entries: Sequence[tuple]) -> np.ndarray:
+    """Stable (key, seq) sort permutation over entry tuples."""
+    keys = _int_array([entry[0] for entry in entries])
+    seqs = np.asarray([entry[1] for entry in entries])
+    return np.lexsort((seqs, keys))
+
+
+def sort_tail_entries(entries: Sequence[tuple]) -> List[tuple]:
+    if len(entries) < 2:
+        return list(entries)
+    try:
+        order = _entry_order(entries)
+    except _FALLBACK_ERRORS:
+        return _py.sort_tail_entries(entries)
+    return [entries[i] for i in order]
+
+
+def merge_entry_streams(streams: List[List[tuple]]) -> List[tuple]:
+    streams = [s for s in streams if s]
+    if not streams:
+        return []
+    if len(streams) == 1:
+        return list(streams[0])
+    # Buffer seq numbers are unique, so (key, seq) is a total order and a
+    # stable sort of the concatenation equals the k-way heap merge.
+    entries: List[tuple] = []
+    for stream in streams:
+        entries.extend(stream)
+    try:
+        order = _entry_order(entries)
+    except _FALLBACK_ERRORS:
+        return _py.merge_entry_streams(streams)
+    return [entries[i] for i in order]
+
+
+def key_column(entries: Sequence[tuple]):
+    keys = [entry[0] for entry in entries]
+    try:
+        arr = np.asarray(keys)
+    except OverflowError:
+        return keys
+    return arr if arr.dtype.kind in "iu" else keys
+
+
+def searchsorted_range(keys, lo: int, hi: int) -> Tuple[int, int]:
+    if isinstance(keys, np.ndarray):
+        try:
+            return (
+                int(np.searchsorted(keys, lo, side="left")),
+                int(np.searchsorted(keys, hi, side="right")),
+            )
+        except _FALLBACK_ERRORS:
+            pass  # lo/hi outside the dtype's range: bisect handles bignums
+    return _py.searchsorted_range(keys, lo, hi)
+
+
+# ----------------------------------------------------------------------
+# B+-tree batch pre-pass
+# ----------------------------------------------------------------------
+def sort_items_by_key(items: Sequence[Tuple[int, object]]) -> List[Tuple[int, object]]:
+    items = list(items)
+    if len(items) < 2:
+        return items
+    try:
+        keys = _int_array([key for key, _value in items])
+    except _FALLBACK_ERRORS:
+        return _py.sort_items_by_key(items)
+    order = np.argsort(keys, kind="stable")
+    return [items[i] for i in order]
+
+
+def keys_strictly_increasing(batch: Sequence[Tuple[int, object]]) -> bool:
+    if len(batch) < 2:
+        return True
+    try:
+        keys = _int_array([key for key, _value in batch])
+    except _FALLBACK_ERRORS:
+        return _py.keys_strictly_increasing(batch)
+    return bool(np.all(keys[1:] > keys[:-1]))
+
+
+def dedup_sorted_items(batch: List[Tuple[int, object]]) -> List[Tuple[int, object]]:
+    n = len(batch)
+    if n < 2:
+        return list(batch)
+    try:
+        keys = _int_array([key for key, _value in batch])
+    except _FALLBACK_ERRORS:
+        return _py.dedup_sorted_items(batch)
+    keep = np.empty(n, dtype=bool)
+    keep[-1] = True
+    np.not_equal(keys[:-1], keys[1:], out=keep[:-1])
+    if keep.all():
+        return list(batch)
+    return [batch[i] for i in np.flatnonzero(keep)]
+
+
+# ----------------------------------------------------------------------
+# sortedness metrics
+# ----------------------------------------------------------------------
+def longest_nondecreasing_subsequence_length(keys: Sequence[int]) -> int:
+    # Patience sorting is a sequential dependence chain (each element lands
+    # on a pile determined by all previous piles) — per-element np calls are
+    # slower than bisect, so K deliberately stays on the Python kernel.
+    return _py.longest_nondecreasing_subsequence_length(keys)
+
+
+def count_out_of_order(keys: Sequence[int]) -> int:
+    return _py.count_out_of_order(keys)
+
+
+def max_displacement(keys: Sequence[int]) -> int:
+    if len(keys) < 2:
+        return 0
+    try:
+        arr = _int_array(keys)
+    except _FALLBACK_ERRORS:
+        return _py.max_displacement(keys)
+    order = np.argsort(arr, kind="stable")
+    return int(np.abs(order - np.arange(len(keys))).max())
+
+
+def count_inversions(keys: Sequence[int]) -> int:
+    n = len(keys)
+    if n < 2:
+        return 0
+    try:
+        arr = _int_array(keys)
+    except _FALLBACK_ERRORS:
+        return _py.count_inversions(keys)
+    # Stable ranks turn the input into a permutation with the same inversion
+    # count (equal keys get increasing ranks, so ties add no pairs), then a
+    # bottom-up merge-count runs every row of each level in one vector op:
+    # per-row offsets of P separate the rows' value ranges so one global
+    # searchsorted counts "left-half elements below y" for every y at once.
+    order = np.argsort(arr, kind="stable")
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n, dtype=np.int64)
+    p = 1 << (n - 1).bit_length()
+    # Pad with ascending sentinels above every rank: zero extra inversions.
+    a = np.concatenate([rank, np.arange(n, p, dtype=np.int64)])
+    total = 0
+    width = 1
+    while width < p:
+        m = a.reshape(-1, 2 * width)
+        nrows = m.shape[0]
+        offsets = np.arange(nrows, dtype=np.int64)[:, None] * p
+        left = (m[:, :width] + offsets).ravel()
+        right = (m[:, width:] + offsets).ravel()
+        below = np.searchsorted(left, right)
+        row_base = np.repeat(np.arange(nrows, dtype=np.int64) * width, width)
+        total += int((width - (below - row_base)).sum(dtype=np.int64))
+        a = np.sort(m, axis=1).ravel()
+        width *= 2
+    return total
+
+
+def count_runs(keys: Sequence[int]) -> int:
+    n = len(keys)
+    if n == 0:
+        return 0
+    if n == 1:
+        return 1
+    try:
+        arr = _int_array(keys)
+    except _FALLBACK_ERRORS:
+        return _py.count_runs(keys)
+    return 1 + int(np.count_nonzero(arr[1:] < arr[:-1]))

@@ -1,0 +1,276 @@
+"""Pure-Python reference kernels.
+
+Every function here is the *semantic definition* of a kernel: the NumPy
+backend (:mod:`repro.kernels.numpy_kernels`) must reproduce these results
+bit for bit (Bloom bit patterns, sort orders, metric values), a contract
+pinned by ``tests/test_kernels_equivalence.py``. Several bodies are the
+hot-path loops that previously lived inline in ``filters.bloom``,
+``core.buffer``, ``btree.btree`` and ``sortedness.metrics``; they moved
+here unchanged so both backends sit behind one dispatch point.
+
+This module must stay import-light (no numpy, no repro.core/*): it is the
+fallback that keeps the library dependency-free.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from heapq import merge as heap_merge
+from operator import itemgetter
+from typing import List, Optional, Sequence, Tuple
+
+from repro.filters.hashing import murmur3_64, rotate64, shared_bases as _shared_bases
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Chunk width (bytes) for the incremental popcount — large enough that the
+#: per-chunk ``int.from_bytes`` overhead amortizes, small enough that no
+#: single bignum conversion dominates (the previous implementation built one
+#: bignum for the whole filter on every call).
+_POPCOUNT_CHUNK = 4096
+
+
+# ----------------------------------------------------------------------
+# hashing / Bloom filters
+# ----------------------------------------------------------------------
+def shared_bases(keys: Sequence[int], family: str = "splitmix64", seed: int = 0):
+    """One 64-bit base hash per key (batch hash sharing)."""
+    return _shared_bases(keys, family, seed)
+
+
+def splitmix64_many(keys: Sequence[int], seed: int = 0) -> List[int]:
+    """Vectorizable alias for the splitmix64 batch hash."""
+    return _shared_bases(keys, "splitmix64", seed)
+
+
+def murmur3_64_many(keys: Sequence[int], seed: int = 0) -> List[int]:
+    return [murmur3_64(key, seed) for key in keys]
+
+
+def bloom_add_many(
+    bits: bytearray,
+    bases: Sequence[int],
+    n_probes: int,
+    n_bits: int,
+    rotation: int = 0,
+) -> None:
+    """Set the Kirsch–Mitzenmacher probe bits for every base hash.
+
+    Set bits are accumulated per 64-bit word and folded into the byte array
+    with one read-OR-write per touched word instead of one poke per probe.
+    """
+    words = {}
+    get = words.get
+    for base in bases:
+        if rotation:
+            base = rotate64(base, rotation)
+        h1 = base & _MASK32
+        h2 = (base >> 32) | 1
+        for i in range(n_probes):
+            pos = (h1 + i * h2) % n_bits
+            word = pos >> 6
+            words[word] = get(word, 0) | (1 << (pos & 63))
+    n_bytes = len(bits)
+    for word, mask in words.items():
+        start = word << 3
+        stop = min(start + 8, n_bytes)
+        width = stop - start
+        merged = int.from_bytes(bits[start:stop], "little") | mask
+        bits[start:stop] = merged.to_bytes(width, "little")
+
+
+def bloom_contains_many(
+    bits: bytearray,
+    bases: Sequence[int],
+    n_probes: int,
+    n_bits: int,
+    rotation: int = 0,
+) -> List[bool]:
+    """One membership verdict per base hash (early exit per key)."""
+    out: List[bool] = []
+    append = out.append
+    for base in bases:
+        if rotation:
+            base = rotate64(base, rotation)
+        h1 = base & _MASK32
+        h2 = (base >> 32) | 1
+        hit = True
+        for i in range(n_probes):
+            pos = (h1 + i * h2) % n_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                hit = False
+                break
+        append(hit)
+    return out
+
+
+def popcount_bytes(buf) -> int:
+    """Total set bits in a byte buffer, converted in bounded chunks."""
+    view = memoryview(buf)
+    total = 0
+    for start in range(0, len(view), _POPCOUNT_CHUNK):
+        chunk = int.from_bytes(view[start : start + _POPCOUNT_CHUNK], "little")
+        try:
+            total += chunk.bit_count()
+        except AttributeError:  # pragma: no cover - Python 3.9 only
+            total += bin(chunk).count("1")
+    return total
+
+
+# ----------------------------------------------------------------------
+# buffer primitives
+# ----------------------------------------------------------------------
+def nondecreasing_prefix_len(keys: Sequence[int], last: Optional[int]) -> int:
+    """Length of the longest prefix continuing an in-order run.
+
+    ``last`` is the previous maximum (``None`` when the run is empty); the
+    prefix ends at the first key that undercuts its predecessor.
+    """
+    split = 0
+    n = len(keys)
+    while split < n and (last is None or keys[split] >= last):
+        last = keys[split]
+        split += 1
+    return split
+
+
+def sort_tail_entries(entries: Sequence[tuple]) -> List[tuple]:
+    """Stable sort of buffer entries by ``(key, seq)``.
+
+    Buffer tails arrive in ``seq`` order, so this equals a stable sort by
+    key alone — the property the NumPy argsort kernel relies on.
+    """
+    return sorted(entries, key=lambda e: (e[0], e[1]))
+
+
+def merge_entry_streams(streams: List[List[tuple]]) -> List[tuple]:
+    """Stable k-way merge of ``(key, seq)``-sorted entry lists."""
+    streams = [s for s in streams if s]
+    if not streams:
+        return []
+    if len(streams) == 1:
+        return list(streams[0])
+    return list(heap_merge(*streams, key=lambda e: (e[0], e[1])))
+
+
+def key_column(entries: Sequence[tuple]):
+    """The key column of an entry list (backend-native sequence)."""
+    return [entry[0] for entry in entries]
+
+
+def searchsorted_range(keys, lo: int, hi: int) -> Tuple[int, int]:
+    """``(bisect_left(lo), bisect_right(hi))`` over a sorted key column."""
+    return bisect_left(keys, lo), bisect_right(keys, hi)
+
+
+# ----------------------------------------------------------------------
+# B+-tree batch pre-pass
+# ----------------------------------------------------------------------
+def sort_items_by_key(items: Sequence[Tuple[int, object]]) -> List[Tuple[int, object]]:
+    """Stable sort of ``(key, value)`` pairs by key (later duplicate last)."""
+    return sorted(items, key=itemgetter(0))
+
+
+def keys_strictly_increasing(batch: Sequence[Tuple[int, object]]) -> bool:
+    """True when the (sorted) batch has strictly increasing keys."""
+    return all(batch[i - 1][0] < batch[i][0] for i in range(1, len(batch)))
+
+
+def dedup_sorted_items(batch: List[Tuple[int, object]]) -> List[Tuple[int, object]]:
+    """Keep the last pair of every key run in a key-sorted batch.
+
+    Matches upsert semantics: in a sequential replay the later duplicate
+    overwrites the earlier one, so only the final version needs to reach
+    the tree.
+    """
+    out: List[Tuple[int, object]] = []
+    append = out.append
+    last_key: Optional[int] = None
+    for pair in batch:
+        if pair[0] == last_key:
+            out[-1] = pair
+        else:
+            append(pair)
+            last_key = pair[0]
+    return out
+
+
+# ----------------------------------------------------------------------
+# sortedness metrics
+# ----------------------------------------------------------------------
+def longest_nondecreasing_subsequence_length(keys: Sequence[int]) -> int:
+    """Length of the longest non-decreasing subsequence (patience sorting)."""
+    tails: List[int] = []  # tails[i] = smallest tail of a subsequence of len i+1
+    for key in keys:
+        pos = bisect_right(tails, key)
+        if pos == len(tails):
+            tails.append(key)
+        else:
+            tails[pos] = key
+    return len(tails)
+
+
+def count_out_of_order(keys: Sequence[int]) -> int:
+    """Exact K: minimum removals that leave the sequence non-decreasing."""
+    return len(keys) - longest_nondecreasing_subsequence_length(keys)
+
+
+def max_displacement(keys: Sequence[int]) -> int:
+    """Exact L: max |i - sorted_position(i)| under a stable sort."""
+    order = sorted(range(len(keys)), key=lambda i: (keys[i], i))
+    worst = 0
+    for sorted_pos, original_pos in enumerate(order):
+        displacement = abs(sorted_pos - original_pos)
+        if displacement > worst:
+            worst = displacement
+    return worst
+
+
+def count_inversions(keys: Sequence[int]) -> int:
+    """Number of pairs (i, j) with i < j and keys[i] > keys[j].
+
+    Merge-count implementation, O(N log N); duplicates do not count as
+    inversions.
+    """
+    arr = list(keys)
+    temp = [0] * len(arr)
+
+    def merge_count(lo: int, hi: int) -> int:
+        if hi - lo <= 1:
+            return 0
+        mid = (lo + hi) // 2
+        inv = merge_count(lo, mid) + merge_count(mid, hi)
+        i, j, k = lo, mid, lo
+        while i < mid and j < hi:
+            if arr[i] <= arr[j]:
+                temp[k] = arr[i]
+                i += 1
+            else:
+                temp[k] = arr[j]
+                inv += mid - i
+                j += 1
+            k += 1
+        while i < mid:
+            temp[k] = arr[i]
+            i += 1
+            k += 1
+        while j < hi:
+            temp[k] = arr[j]
+            j += 1
+            k += 1
+        arr[lo:hi] = temp[lo:hi]
+        return inv
+
+    return merge_count(0, len(arr))
+
+
+def count_runs(keys: Sequence[int]) -> int:
+    """Mannila's *Runs* measure: number of maximal non-decreasing runs."""
+    if not keys:
+        return 0
+    runs = 1
+    for i in range(1, len(keys)):
+        if keys[i] < keys[i - 1]:
+            runs += 1
+    return runs

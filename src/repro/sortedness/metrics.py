@@ -21,6 +21,8 @@ from bisect import bisect_right, insort
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro import kernels
+
 
 @dataclass(frozen=True)
 class SortednessReport:
@@ -62,70 +64,32 @@ class SortednessReport:
         return "less-sorted"
 
 
+# The metric implementations live in repro.kernels (python_kernels holds the
+# reference algorithms, numpy_kernels the vectorized twins); these wrappers
+# keep the documented public API stable while dispatching per backend.
 def longest_nondecreasing_subsequence_length(keys: Sequence[int]) -> int:
     """Length of the longest non-decreasing subsequence (patience sorting)."""
-    tails: List[int] = []  # tails[i] = smallest tail of a subsequence of len i+1
-    for key in keys:
-        pos = bisect_right(tails, key)
-        if pos == len(tails):
-            tails.append(key)
-        else:
-            tails[pos] = key
-    return len(tails)
+    return kernels.longest_nondecreasing_subsequence_length(keys)
 
 
 def count_out_of_order(keys: Sequence[int]) -> int:
     """Exact K: minimum removals that leave the sequence non-decreasing."""
-    return len(keys) - longest_nondecreasing_subsequence_length(keys)
+    return kernels.count_out_of_order(keys)
 
 
 def max_displacement(keys: Sequence[int]) -> int:
     """Exact L: max |i - sorted_position(i)| under a stable sort."""
-    order = sorted(range(len(keys)), key=lambda i: (keys[i], i))
-    worst = 0
-    for sorted_pos, original_pos in enumerate(order):
-        displacement = abs(sorted_pos - original_pos)
-        if displacement > worst:
-            worst = displacement
-    return worst
+    return kernels.max_displacement(keys)
 
 
 def count_inversions(keys: Sequence[int]) -> int:
     """Number of pairs (i, j) with i < j and keys[i] > keys[j].
 
-    Merge-count implementation, O(N log N); duplicates do not count as
+    Merge-count (python backend) or rank-permutation merge-count over whole
+    levels (numpy backend), both O(N log N); duplicates do not count as
     inversions.
     """
-    arr = list(keys)
-    temp = [0] * len(arr)
-
-    def merge_count(lo: int, hi: int) -> int:
-        if hi - lo <= 1:
-            return 0
-        mid = (lo + hi) // 2
-        inv = merge_count(lo, mid) + merge_count(mid, hi)
-        i, j, k = lo, mid, lo
-        while i < mid and j < hi:
-            if arr[i] <= arr[j]:
-                temp[k] = arr[i]
-                i += 1
-            else:
-                temp[k] = arr[j]
-                inv += mid - i
-                j += 1
-            k += 1
-        while i < mid:
-            temp[k] = arr[i]
-            i += 1
-            k += 1
-        while j < hi:
-            temp[k] = arr[j]
-            j += 1
-            k += 1
-        arr[lo:hi] = temp[lo:hi]
-        return inv
-
-    return merge_count(0, len(arr))
+    return kernels.count_inversions(keys)
 
 
 def count_runs(keys: Sequence[int]) -> int:
@@ -135,13 +99,7 @@ def count_runs(keys: Sequence[int]) -> int:
     n runs. One of the classical presortedness measures the paper's §II
     cites alongside (K,L).
     """
-    if not keys:
-        return 0
-    runs = 1
-    for i in range(1, len(keys)):
-        if keys[i] < keys[i - 1]:
-            runs += 1
-    return runs
+    return kernels.count_runs(keys)
 
 
 def exchange_distance(keys: Sequence[int]) -> int:
