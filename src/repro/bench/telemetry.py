@@ -8,7 +8,13 @@ harness plays for learned indexes). The artifact bundles:
   breakdowns, raw counters, and SWARE/tree statistics;
 * ``metrics`` — the full :class:`~repro.obs.MetricsRegistry` snapshot,
   including per-op latency histograms with p50/p95/p99;
-* ``trace`` — ring-buffer accounting (events recorded/dropped).
+* ``trace`` — ring-buffer accounting (events recorded/dropped, plus the
+  ``truncated`` headline flag when events were lost);
+* ``monitors`` — the streaming monitor hub's snapshot (sortedness drift
+  windows, saturation, Bloom FPR samples, fsync/lock feeds), present when
+  the run carried monitors — the input ``repro doctor`` evaluates;
+* ``profile`` — the sampling profiler's per-layer table and collapsed
+  stacks, present when the run was profiled.
 
 The schema is validated by hand (:func:`validate_bench_artifact`) — the
 offline environment has no ``jsonschema`` — and the validator doubles as
@@ -56,8 +62,16 @@ def build_bench_artifact(
     experiment: str,
     obs: Observability,
     extra: Optional[Dict[str, object]] = None,
+    poll: bool = True,
 ) -> Dict[str, object]:
-    """Assemble the artifact from everything ``obs`` recorded."""
+    """Assemble the artifact from everything ``obs`` recorded.
+
+    ``poll=False`` reuses the collector values of the registry's previous
+    snapshot (see :meth:`~repro.obs.MetricsRegistry.snapshot`): a CLI run
+    that has already rendered ``repro stats`` from the same registry emits
+    an artifact that *agrees* with what was printed, and stateful
+    collectors are charged exactly once per export cycle.
+    """
     tracer = obs.tracer
     doc: Dict[str, object] = {
         "schema": SCHEMA,
@@ -66,13 +80,15 @@ def build_bench_artifact(
         "repro_scale": float(os.environ.get("REPRO_SCALE", "1.0")),
         "meta": bench_meta(),
         "runs": list(obs.runs),
-        "metrics": obs.registry.snapshot(),
-        "trace": {
-            "recorded": tracer.recorded if tracer is not None else 0,
-            "dropped": tracer.dropped if tracer is not None else 0,
-            "capacity": tracer.capacity if tracer is not None else 0,
-        },
+        "metrics": obs.registry.snapshot(poll=poll),
+        "trace": tracer.snapshot()
+        if tracer is not None
+        else {"recorded": 0, "dropped": 0, "capacity": 0, "truncated": False},
     }
+    if obs.monitors is not None:
+        doc["monitors"] = obs.monitors.snapshot()
+    if obs.profiler is not None:
+        doc["profile"] = obs.profiler.snapshot()
     if extra:
         doc.update(extra)
     return doc
@@ -154,6 +170,53 @@ def validate_bench_artifact(doc: object) -> List[str]:
         isinstance(trace.get(key), (int, float)) for key in ("recorded", "dropped")
     ):
         errors.append("trace must be an object with numeric recorded/dropped")
+
+    # Optional obs v2 sections: validated only when present.
+    monitors = doc.get("monitors")
+    if monitors is not None:
+        if not isinstance(monitors, dict):
+            errors.append("monitors must be an object")
+        else:
+            sortedness = monitors.get("sortedness")
+            if not isinstance(sortedness, dict) or not isinstance(
+                sortedness.get("windows"), list
+            ):
+                errors.append("monitors.sortedness.windows must be a list")
+            else:
+                for i, window in enumerate(sortedness["windows"]):
+                    if not isinstance(window, dict) or not all(
+                        isinstance(window.get(key), (int, float))
+                        for key in ("n", "k_fraction", "l_fraction")
+                    ):
+                        errors.append(
+                            f"monitors.sortedness.windows[{i}] must carry "
+                            "numeric n/k_fraction/l_fraction"
+                        )
+            for section in ("saturation", "bloom"):
+                if not isinstance(monitors.get(section), dict):
+                    errors.append(f"monitors.{section} must be an object")
+
+    profile = doc.get("profile")
+    if profile is not None:
+        if not isinstance(profile, dict):
+            errors.append("profile must be an object")
+        else:
+            if not isinstance(profile.get("layers"), dict):
+                errors.append("profile.layers must be an object")
+            else:
+                for layer, row in profile["layers"].items():
+                    if not isinstance(row, dict) or not all(
+                        isinstance(row.get(key), (int, float))
+                        for key in ("samples", "fraction")
+                    ):
+                        errors.append(
+                            f"profile.layers[{layer!r}] must carry numeric "
+                            "samples/fraction"
+                        )
+            if not isinstance(profile.get("collapsed"), list):
+                errors.append("profile.collapsed must be a list")
+            if not isinstance(profile.get("hz"), (int, float)):
+                errors.append("profile.hz must be numeric")
     return errors
 
 

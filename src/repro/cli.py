@@ -41,6 +41,17 @@ Commands
 ``trace``
     Run a small instrumented workload with event tracing enabled and print
     the structured event timeline (flushes, sorts, bulk loads, splits).
+    With ``--perfetto PATH`` the causal span tree is also written as a
+    Chrome trace-event JSON document loadable in https://ui.perfetto.dev.
+``doctor``
+    Run a seeded scenario (``healthy`` or ``drift``) under full monitoring
+    — or load a saved ``BENCH_*.json`` artifact with ``--from`` — evaluate
+    the streaming health rules, and print a findings report with
+    severities and remediation hints keyed to the advisor's knobs.
+``top``
+    Run a monitored workload on a background thread and live-refresh a
+    terminal dashboard of the monitor feeds (sortedness drift, buffer
+    fill, flush routing, Bloom FPR, fsync latency, lock contention).
 """
 
 from __future__ import annotations
@@ -112,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="observe the run and write the BENCH_<name>.json telemetry artifact",
     )
+    exp.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample-profile the run and print the per-layer time table",
+    )
 
     bench = sub.add_parser(
         "bench-batch", help="batch-operation throughput bench (perf-gate numbers)"
@@ -127,6 +143,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="observe the run and write the BENCH_batch_ops.json telemetry artifact",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample-profile the run and print the per-layer time table",
     )
 
     conc = sub.add_parser(
@@ -151,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="observe the run and write the BENCH_concurrent.json telemetry artifact",
     )
+    conc.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample-profile the run and print the per-layer time table",
+    )
 
     kern = sub.add_parser(
         "bench-kernels",
@@ -169,6 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="observe the run and write the BENCH_kernels.json telemetry artifact",
+    )
+    kern.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample-profile the run and print the per-layer time table",
     )
 
     gate = sub.add_parser(
@@ -221,6 +252,84 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--read-fraction", type=float, default=0.5)
     trace.add_argument("--seed", type=int, default=7)
     trace.add_argument("--limit", type=int, default=200, help="max events to print")
+    trace.add_argument(
+        "--perfetto",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the causal trace as Chrome trace-event JSON "
+        "(loadable in ui.perfetto.dev)",
+    )
+
+    doctor = sub.add_parser(
+        "doctor", help="diagnose a run: evaluate health rules, print findings"
+    )
+    doctor.add_argument(
+        "--from",
+        dest="from_json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="evaluate a saved BENCH_*.json artifact instead of running",
+    )
+    doctor.add_argument(
+        "--scenario",
+        choices=["healthy", "drift"],
+        default="healthy",
+        help="seeded workload to run and diagnose (default healthy)",
+    )
+    doctor.add_argument("--n", type=int, default=20_000)
+    doctor.add_argument("--seed", type=int, default=7)
+    doctor.add_argument("--read-fraction", type=float, default=0.3)
+    doctor.add_argument(
+        "--buffer-fraction",
+        type=float,
+        default=None,
+        help="override the scenario's buffer sizing",
+    )
+    doctor.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable findings report",
+    )
+    doctor.add_argument(
+        "--bench",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the scenario's full BENCH telemetry artifact",
+    )
+    doctor.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any warning/critical finding fires",
+    )
+
+    top = sub.add_parser(
+        "top", help="live terminal dashboard of the streaming monitor feeds"
+    )
+    top.add_argument(
+        "--scenario",
+        choices=["healthy", "drift"],
+        default="drift",
+        help="seeded workload to watch (default drift)",
+    )
+    top.add_argument("--n", type=int, default=20_000)
+    top.add_argument("--seed", type=int, default=7)
+    top.add_argument("--read-fraction", type=float, default=0.3)
+    top.add_argument(
+        "--interval", type=float, default=0.5, help="seconds between frames"
+    )
+    top.add_argument(
+        "--frames", type=int, default=None, help="stop after N frames (default: run end)"
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (logs, CI)",
+    )
 
     return parser
 
@@ -300,10 +409,16 @@ def _run_experiment_with_telemetry(
     kwargs: dict,
     json_path: Optional[str],
     artifact_name: Optional[str] = None,
+    profile: bool = False,
 ) -> int:
-    """Run an experiment module, optionally writing its bench artifact."""
+    """Run an experiment module, optionally writing its bench artifact.
+
+    ``profile`` samples the run with the obs v2 profiler and prints the
+    per-layer wall-time table; with ``--json`` the profile section also
+    lands in the artifact.
+    """
     module = importlib.import_module(f"repro.bench.experiments.{name}")
-    if json_path is None:
+    if json_path is None and not profile:
         result = module.run(**kwargs)
         print(result.report)
         return 0
@@ -315,12 +430,29 @@ def _run_experiment_with_telemetry(
         save_bench_artifact,
         validate_bench_artifact,
     )
-    from repro.obs import Observability, observe
+    from repro.obs import Observability, SamplingProfiler, observe
 
     obs = Observability(trace=True)
-    with observe(obs):
-        result = module.run(**kwargs)
+    if profile:
+        obs.profiler = SamplingProfiler()
+        obs.profiler.start()
+    try:
+        with observe(obs):
+            result = module.run(**kwargs)
+    finally:
+        if obs.profiler is not None:
+            obs.profiler.stop()
     print(result.report)
+    if obs.profiler is not None:
+        print("profile (sampled at %.0f Hz):" % obs.profiler.hz)
+        print(obs.profiler.format_table())
+    if obs.tracer.dropped:
+        print(
+            f"note: trace ring truncated — {obs.tracer.dropped} events dropped",
+            file=sys.stderr,
+        )
+    if json_path is None:
+        return 0
     doc = build_bench_artifact(artifact_name or name, obs)
     errors = validate_bench_artifact(doc)
     if errors:  # pragma: no cover - a bug, not an input error
@@ -337,7 +469,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.n is not None:
         kwargs["n"] = args.n
-    return _run_experiment_with_telemetry(args.name, kwargs, args.json)
+    return _run_experiment_with_telemetry(
+        args.name, kwargs, args.json, profile=args.profile
+    )
 
 
 def _cmd_bench_batch(args: argparse.Namespace) -> int:
@@ -348,7 +482,9 @@ def _cmd_bench_batch(args: argparse.Namespace) -> int:
         kwargs["batch"] = args.batch
     if args.repeats is not None:
         kwargs["repeats"] = args.repeats
-    return _run_experiment_with_telemetry("batch_ops", kwargs, args.json)
+    return _run_experiment_with_telemetry(
+        "batch_ops", kwargs, args.json, profile=args.profile
+    )
 
 
 def _cmd_bench_concurrent(args: argparse.Namespace) -> int:
@@ -362,7 +498,11 @@ def _cmd_bench_concurrent(args: argparse.Namespace) -> int:
     if args.repeats is not None:
         kwargs["repeats"] = args.repeats
     return _run_experiment_with_telemetry(
-        "concurrent_ops", kwargs, args.json, artifact_name="concurrent"
+        "concurrent_ops",
+        kwargs,
+        args.json,
+        artifact_name="concurrent",
+        profile=args.profile,
     )
 
 
@@ -374,7 +514,9 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
         kwargs["metric_n"] = args.metric_n
     if args.repeats is not None:
         kwargs["repeats"] = args.repeats
-    return _run_experiment_with_telemetry("kernels", kwargs, args.json)
+    return _run_experiment_with_telemetry(
+        "kernels", kwargs, args.json, profile=args.profile
+    )
 
 
 def _cmd_perf_gate(args: argparse.Namespace) -> int:
@@ -463,12 +605,143 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
     from repro.obs import Observability
-    from repro.obs.export import render_trace
+    from repro.obs.export import render_trace, to_perfetto, validate_perfetto
 
     obs = Observability(trace=True)
     _run_observed_demo(args, obs)
     sys.stdout.write(render_trace(obs.tracer, limit=args.limit))
+    if args.perfetto is not None:
+        events = obs.tracer.events()
+        doc = to_perfetto(events, tracer=obs.tracer)
+        errors = validate_perfetto(doc)
+        if errors:  # pragma: no cover - a bug, not an input error
+            for error in errors:
+                print(f"invalid perfetto trace: {error}", file=sys.stderr)
+            return 1
+        with open(args.perfetto, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"wrote {len(events)} events as Chrome trace-event JSON to "
+            f"{args.perfetto} (open in ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+        if obs.tracer.dropped:
+            print(
+                f"warning: trace truncated — {obs.tracer.dropped} earlier "
+                "events were dropped by the ring buffer; the exported tree "
+                "covers only the retained window",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.doctor import (
+        evaluate_artifact,
+        evaluate_obs,
+        format_report,
+        report_document,
+        run_scenario,
+        split_findings,
+    )
+
+    if args.from_json is not None:
+        try:
+            with open(args.from_json) as handle:
+                doc = json.load(handle)
+        except OSError as exc:
+            print(f"cannot read {args.from_json}: {exc.strerror}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"{args.from_json} is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        findings = evaluate_artifact(doc)
+        source = args.from_json
+    else:
+        obs = run_scenario(
+            args.scenario,
+            n=args.n,
+            seed=args.seed,
+            read_fraction=args.read_fraction,
+            buffer_fraction=args.buffer_fraction,
+            trace=True,
+        )
+        # One collector poll serves both the evaluation and the optional
+        # bench artifact below (poll=False reuses it).
+        findings = evaluate_obs(obs)
+        source = f"scenario:{args.scenario}"
+        if args.bench is not None:
+            from pathlib import Path
+
+            from repro.bench.telemetry import (
+                build_bench_artifact,
+                save_bench_artifact,
+                validate_bench_artifact,
+            )
+
+            doc = build_bench_artifact(f"doctor_{args.scenario}", obs, poll=False)
+            errors = validate_bench_artifact(doc)
+            if errors:  # pragma: no cover - a bug, not an input error
+                for error in errors:
+                    print(f"invalid bench artifact: {error}", file=sys.stderr)
+                return 1
+            save_bench_artifact(doc, Path(args.bench))
+            print(f"wrote telemetry to {args.bench}", file=sys.stderr)
+    sys.stdout.write(format_report(findings, source=source))
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            json.dump(report_document(findings, source=source), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote doctor report to {args.json}", file=sys.stderr)
+    actionable, _notes = split_findings(findings)
+    return 1 if (args.check and actionable) else 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.obs import Observability
+    from repro.obs.doctor import run_scenario
+    from repro.obs.top import live_loop
+
+    obs = Observability(trace=True, monitors=True)
+    done = threading.Event()
+    failure: List[BaseException] = []
+
+    def workload() -> None:
+        try:
+            run_scenario(
+                args.scenario,
+                n=args.n,
+                seed=args.seed,
+                read_fraction=args.read_fraction,
+                obs=obs,
+            )
+        except BaseException as exc:  # surfaced after the loop stops
+            failure.append(exc)
+        finally:
+            done.set()
+
+    worker = threading.Thread(target=workload, name="repro-top-workload", daemon=True)
+    worker.start()
+    live_loop(
+        obs,
+        done,
+        interval=args.interval,
+        frames=args.frames,
+        clear=not args.no_clear,
+        title=f"repro top — scenario:{args.scenario} (n={args.n})",
+    )
+    worker.join()
+    if failure:
+        print(f"workload failed: {failure[0]!r}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -486,6 +759,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "recover": _cmd_recover,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "doctor": _cmd_doctor,
+        "top": _cmd_top,
     }[args.command]
     return handler(args)
 

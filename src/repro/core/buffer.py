@@ -536,6 +536,7 @@ class SWAREBuffer:
             return MISS, None
         cfg = self.config
         shared: Optional[SharedHash] = None
+        global_bf_approved = False
         if self.global_bf is not None:
             self.meter.charge("bf_probe")
             shared = SharedHash(key, cfg.hash_family)
@@ -544,6 +545,7 @@ class SWAREBuffer:
                 if self.obs.enabled:
                     self.obs.event("buffer.global_bf_skip", key=key)
                 return MISS, None
+            global_bf_approved = True
 
         page_size = cfg.page_size
         last_page = (len(tail) - 1) // page_size
@@ -555,6 +557,7 @@ class SWAREBuffer:
                     if self.obs.enabled:
                         self.obs.event("buffer.zonemap_page_skip", key=key, page=page)
                     continue
+            page_bf_approved = False
             if cfg.enable_page_bf and page < len(self._page_bfs):
                 self.meter.charge("bf_probe")
                 if shared is None:
@@ -562,6 +565,7 @@ class SWAREBuffer:
                 if not self._page_bfs[page].may_contain_shared(shared):
                     self.stats.page_bf_negatives += 1
                     continue
+                page_bf_approved = True
             start = page * page_size
             stop = min(start + page_size, len(tail))
             self.stats.unsorted_pages_scanned += 1
@@ -570,6 +574,13 @@ class SWAREBuffer:
                 entry = tail[position]
                 if entry[0] == key:
                     return (TOMBSTONE if entry[3] else HIT), entry[2]
+            if page_bf_approved:
+                # Page BF said "maybe" but the page scan found nothing.
+                self.stats.page_bf_false_positives += 1
+        if global_bf_approved:
+            # The global BF approved the probe, yet no tail page held the
+            # key: one observed false positive (the FPR numerator).
+            self.stats.global_bf_false_positives += 1
         return MISS, None
 
     # ------------------------------------------------------------------

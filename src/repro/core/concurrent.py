@@ -89,6 +89,7 @@ class ConcurrentSortednessAwareIndex:
         #: exactly, which is what recovery replays.
         self.wal = wal
         obs = obs if obs is not None else current_obs()
+        self.obs = obs
         # The inner index must never query-sort on its own (that would
         # mutate the buffer under a shared lock); the front-end triggers
         # the sort itself after an S→X upgrade.
@@ -115,6 +116,10 @@ class ConcurrentSortednessAwareIndex:
         if obs is not NULL_OBS:
             obs.register_collector("locks", self.locks.snapshot)
             obs.register_collector("concurrent", self._collector_snapshot)
+        if obs.monitors is not None:
+            # Contention counters flow into health evaluation alongside the
+            # streaming monitors (the lock_contention / lock_timeouts rules).
+            obs.monitors.attach_locks(self.locks)
 
     # ------------------------------------------------------------------
     # plumbing
@@ -182,6 +187,13 @@ class ConcurrentSortednessAwareIndex:
         self._write(key, None, tombstone=True)
 
     def _write(self, key: int, value: object, tombstone: bool) -> None:
+        # The span carries the tracer's per-thread id, so interleaved
+        # writers render as separate rows in the Perfetto view; lock waits
+        # and the flush cycle nest under it causally.
+        with self.obs.span("concurrent.write", key=key, tombstone=tombstone):
+            self._write_inner(key, value, tombstone)
+
+    def _write_inner(self, key: int, value: object, tombstone: bool) -> None:
         worker = threading.get_ident()
         locks = self.locks
         inner = self.inner
@@ -260,6 +272,11 @@ class ConcurrentSortednessAwareIndex:
                         else:
                             inner.stats.inserts += 1
                             buffer.add(key, value)
+                        # The fast path bypasses inner.insert, so the
+                        # monitor feed happens here (still under the latch).
+                        hub = self.obs.monitors
+                        if hub is not None:
+                            hub.observe_insert(key, buffer)
             finally:
                 locks.release(worker, resource)
             if not retry:
@@ -392,21 +409,23 @@ class ConcurrentSortednessAwareIndex:
 
     def get(self, key: int) -> Optional[object]:
         worker = threading.get_ident()
-        self._begin_read(worker)
-        try:
-            with self._latch:
-                return self.inner.get(key)
-        finally:
-            self.locks.release(worker, BUFFER)
+        with self.obs.span("concurrent.read", key=key):
+            self._begin_read(worker)
+            try:
+                with self._latch:
+                    return self.inner.get(key)
+            finally:
+                self.locks.release(worker, BUFFER)
 
     def get_many(self, keys: Sequence[int]) -> List[Optional[object]]:
         worker = threading.get_ident()
-        self._begin_read(worker)
-        try:
-            with self._latch:
-                return self.inner.get_many(keys)
-        finally:
-            self.locks.release(worker, BUFFER)
+        with self.obs.span("concurrent.read_many", n=len(keys)):
+            self._begin_read(worker)
+            try:
+                with self._latch:
+                    return self.inner.get_many(keys)
+            finally:
+                self.locks.release(worker, BUFFER)
 
     def range_query(self, lo: int, hi: int) -> List[Tuple[int, object]]:
         worker = threading.get_ident()

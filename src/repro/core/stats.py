@@ -44,6 +44,11 @@ class SWAREStats:
     unsorted_pages_scanned: int = 0
     global_bf_negatives: int = 0
     page_bf_negatives: int = 0
+    # Probes the filter approved but the scan missed: the numerator of the
+    # observed false-positive rate (negatives are the true-negative column —
+    # Bloom filters have no false negatives).
+    global_bf_false_positives: int = 0
+    page_bf_false_positives: int = 0
     zonemap_page_skips: int = 0
 
     extra: Dict[str, float] = field(default_factory=dict)

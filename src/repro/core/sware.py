@@ -85,15 +85,24 @@ class SortednessAwareIndex:
     # writes
     # ------------------------------------------------------------------
     def insert(self, key: int, value: object) -> None:
-        """Buffer an upsert; flushes a batch into the tree when full."""
+        """Buffer an upsert; flushes a batch into the tree when full.
+
+        The span roots a causal trace: a flush cycle triggered here (and
+        every sort, routing decision and WAL append inside it) chains back
+        to this put via ``parent_id``/``trace_id``.
+        """
         if value is None:
             raise ValueError("None values are reserved for 'absent'")
-        if self.wal is not None:
-            self.wal.append_put(key, value)
-        self.stats.inserts += 1
-        self.buffer.add(key, value)
-        if self.buffer.is_full:
-            self._flush_cycle()
+        with self.obs.span("sware.put", key=key):
+            if self.wal is not None:
+                self.wal.append_put(key, value)
+            self.stats.inserts += 1
+            self.buffer.add(key, value)
+            hub = self.obs.monitors
+            if hub is not None:
+                hub.observe_insert(key, self.buffer)
+            if self.buffer.is_full:
+                self._flush_cycle()
 
     def put_many(self, items: Sequence[Tuple[int, object]]) -> None:
         """Buffer a batch of upserts; observably identical to a loop of
@@ -108,35 +117,40 @@ class SortednessAwareIndex:
         for _key, value in items:
             if value is None:
                 raise ValueError("None values are reserved for 'absent'")
-        if self.wal is not None:
-            self.wal.append_puts(items)
-        buffer = self.buffer
-        i = 0
-        while i < n:
-            space = buffer.capacity - len(buffer)
-            if space <= 0:
-                self._flush_cycle()
-                continue
-            chunk = items[i : i + space]
-            self.stats.inserts += len(chunk)
-            buffer.add_many(chunk)
-            i += len(chunk)
-            if buffer.is_full:
-                self._flush_cycle()
+        with self.obs.span("sware.put_many", n=n):
+            if self.wal is not None:
+                self.wal.append_puts(items)
+            buffer = self.buffer
+            hub = self.obs.monitors
+            i = 0
+            while i < n:
+                space = buffer.capacity - len(buffer)
+                if space <= 0:
+                    self._flush_cycle()
+                    continue
+                chunk = items[i : i + space]
+                self.stats.inserts += len(chunk)
+                buffer.add_many(chunk)
+                if hub is not None:
+                    hub.observe_inserts([key for key, _value in chunk], buffer)
+                i += len(chunk)
+                if buffer.is_full:
+                    self._flush_cycle()
 
     def delete(self, key: int) -> None:
         """Delete via a buffered tombstone or directly in the tree (§IV-D)."""
-        if self.wal is not None:
-            self.wal.append_delete(key)
-        self.stats.deletes += 1
-        if not self.buffer.is_empty and self.buffer.zonemap.may_contain(key):
-            self.buffer.add(key, None, tombstone=True)
-            self.stats.tombstones_buffered += 1
-            if self.buffer.is_full:
-                self._flush_cycle()
-            return
-        with self.meter.bucket("top_insert"):
-            self.backend.delete(key)
+        with self.obs.span("sware.delete", key=key):
+            if self.wal is not None:
+                self.wal.append_delete(key)
+            self.stats.deletes += 1
+            if not self.buffer.is_empty and self.buffer.zonemap.may_contain(key):
+                self.buffer.add(key, None, tombstone=True)
+                self.stats.tombstones_buffered += 1
+                if self.buffer.is_full:
+                    self._flush_cycle()
+                return
+            with self.meter.bucket("top_insert"):
+                self.backend.delete(key)
 
     def flush_all(self) -> None:
         """Drain the entire buffer into the tree (end-of-ingest helper)."""
@@ -165,6 +179,16 @@ class SortednessAwareIndex:
         return pages
 
     def _flush_cycle(self) -> None:
+        hub = self.obs.monitors
+        expected_fpr: Optional[float] = None
+        if (
+            hub is not None
+            and self.buffer.global_bf is not None
+            and self.buffer.tail_size
+        ):
+            # Sampled before prepare_flush resets the filter: the FPR of the
+            # filter as the flushed epoch actually ran it.
+            expected_fpr = self.buffer.global_bf.expected_fpr()
         with self.obs.span("sware.flush_cycle") as span:
             with self.meter.bucket("sort"):
                 batch = self.buffer.prepare_flush()
@@ -175,6 +199,13 @@ class SortednessAwareIndex:
                 retained=batch.retained,
             )
             self._apply_batch(batch)
+        if hub is not None:
+            hub.observe_flush(
+                entries=len(batch.entries),
+                retained=batch.retained,
+                effortless=batch.sorted_without_effort,
+                expected_fpr=expected_fpr,
+            )
         self.obs.observe_hist(
             "sware_flush_entries", len(batch.entries), buckets=DEFAULT_SIZE_BUCKETS
         )
@@ -245,24 +276,25 @@ class SortednessAwareIndex:
     def get(self, key: int) -> Optional[object]:
         """Point lookup along the optimized read path (Fig. 6)."""
         self.stats.lookups += 1
-        if self.buffer.should_query_sort():
-            with self.meter.bucket("sware_ops"):
-                self.buffer.query_sort()
-        with self.meter.bucket("buffer_search"):
-            state, value = self.buffer.lookup(key)
-        if state == HIT:
-            self.stats.buffer_hits += 1
-            return value
-        if state == TOMBSTONE:
-            self.stats.buffer_tombstone_hits += 1
-            return None
-        with self.meter.bucket("tree_search"):
-            self.meter.charge("zonemap_check")
-            tree_min, tree_max = self.backend.min_key, self.backend.max_key
-            if tree_min is None or key < tree_min or key > tree_max:
+        with self.obs.span("sware.get", key=key):
+            if self.buffer.should_query_sort():
+                with self.meter.bucket("sware_ops"):
+                    self.buffer.query_sort()
+            with self.meter.bucket("buffer_search"):
+                state, value = self.buffer.lookup(key)
+            if state == HIT:
+                self.stats.buffer_hits += 1
+                return value
+            if state == TOMBSTONE:
+                self.stats.buffer_tombstone_hits += 1
                 return None
-            self.stats.tree_searches += 1
-            return self.backend.get(key)
+            with self.meter.bucket("tree_search"):
+                self.meter.charge("zonemap_check")
+                tree_min, tree_max = self.backend.min_key, self.backend.max_key
+                if tree_min is None or key < tree_min or key > tree_max:
+                    return None
+                self.stats.tree_searches += 1
+                return self.backend.get(key)
 
     def get_many(self, keys: Sequence[int]) -> List[Optional[object]]:
         """Batch point lookups along the same read path as :meth:`get`.
@@ -276,46 +308,47 @@ class SortednessAwareIndex:
         """
         n = len(keys)
         self.stats.lookups += n
-        if self.buffer.should_query_sort():
-            with self.meter.bucket("sware_ops"):
-                self.buffer.query_sort()
-        results: List[Optional[object]] = [None] * n
-        miss_positions: List[int] = []
-        miss_keys: List[int] = []
-        stats = self.stats
-        lookup = self.buffer.lookup
-        with self.meter.bucket("buffer_search"):
-            for i, key in enumerate(keys):
-                state, value = lookup(key)
-                if state == HIT:
-                    stats.buffer_hits += 1
-                    results[i] = value
-                elif state == TOMBSTONE:
-                    stats.buffer_tombstone_hits += 1
-                else:
-                    miss_positions.append(i)
-                    miss_keys.append(key)
-        if miss_keys:
-            with self.meter.bucket("tree_search"):
-                self.meter.charge("zonemap_check", len(miss_keys))
-                tree_min, tree_max = self.backend.min_key, self.backend.max_key
-                if tree_min is not None:
-                    in_positions: List[int] = []
-                    in_keys: List[int] = []
-                    for i, key in zip(miss_positions, miss_keys):
-                        if tree_min <= key <= tree_max:
-                            in_positions.append(i)
-                            in_keys.append(key)
-                    stats.tree_searches += len(in_keys)
-                    batch_get = getattr(self.backend, "get_many", None)
-                    if batch_get is not None:
-                        for i, value in zip(in_positions, batch_get(in_keys)):
-                            results[i] = value
+        with self.obs.span("sware.get_many", n=n):
+            if self.buffer.should_query_sort():
+                with self.meter.bucket("sware_ops"):
+                    self.buffer.query_sort()
+            results: List[Optional[object]] = [None] * n
+            miss_positions: List[int] = []
+            miss_keys: List[int] = []
+            stats = self.stats
+            lookup = self.buffer.lookup
+            with self.meter.bucket("buffer_search"):
+                for i, key in enumerate(keys):
+                    state, value = lookup(key)
+                    if state == HIT:
+                        stats.buffer_hits += 1
+                        results[i] = value
+                    elif state == TOMBSTONE:
+                        stats.buffer_tombstone_hits += 1
                     else:
-                        get = self.backend.get
-                        for i, key in zip(in_positions, in_keys):
-                            results[i] = get(key)
-        return results
+                        miss_positions.append(i)
+                        miss_keys.append(key)
+            if miss_keys:
+                with self.meter.bucket("tree_search"):
+                    self.meter.charge("zonemap_check", len(miss_keys))
+                    tree_min, tree_max = self.backend.min_key, self.backend.max_key
+                    if tree_min is not None:
+                        in_positions: List[int] = []
+                        in_keys: List[int] = []
+                        for i, key in zip(miss_positions, miss_keys):
+                            if tree_min <= key <= tree_max:
+                                in_positions.append(i)
+                                in_keys.append(key)
+                        stats.tree_searches += len(in_keys)
+                        batch_get = getattr(self.backend, "get_many", None)
+                        if batch_get is not None:
+                            for i, value in zip(in_positions, batch_get(in_keys)):
+                                results[i] = value
+                        else:
+                            get = self.backend.get
+                            for i, key in zip(in_positions, in_keys):
+                                results[i] = get(key)
+            return results
 
     def __contains__(self, key: int) -> bool:
         return self.get(key) is not None
@@ -337,6 +370,10 @@ class SortednessAwareIndex:
     def range_query(self, lo: int, hi: int) -> List[Tuple[int, object]]:
         """All live (key, value) in [lo, hi]; buffered versions win."""
         self.stats.range_queries += 1
+        with self.obs.span("sware.range_query", lo=lo, hi=hi):
+            return self._range_query_inner(lo, hi)
+
+    def _range_query_inner(self, lo: int, hi: int) -> List[Tuple[int, object]]:
         if self.buffer.should_query_sort():
             with self.meter.bucket("sware_ops"):
                 self.buffer.query_sort()

@@ -7,8 +7,18 @@ component shares:
   fixed-bucket histograms, and collectors that poll ``SWAREStats`` /
   ``Meter`` / bufferpool counters at export time);
 * a :class:`~repro.obs.tracer.Tracer` (ring-buffered structured events and
-  nested spans for flush cycles, sorts, bulk-load/top-insert routing,
-  filter skips, and evictions).
+  nested spans — causally linked since obs v2 — for flush cycles, sorts,
+  bulk-load/top-insert routing, filter skips, and evictions).
+
+Two optional v2 surfaces ride along when asked for:
+
+* ``monitors`` — a :class:`~repro.obs.monitors.MonitorHub` of streaming
+  estimators (windowed sortedness drift, buffer saturation, Bloom FPR,
+  lock contention, fsync latency) that health rules and ``repro doctor``
+  evaluate;
+* ``profiler`` — a :class:`~repro.obs.profiler.SamplingProfiler` owned by
+  the run (started/stopped by the CLI or bench runner, never by hot paths;
+  sampling happens entirely on its own thread).
 
 Components accept an ``obs`` keyword; when omitted they pick up the
 *active* observability installed by :func:`observe` (how ``repro
@@ -31,13 +41,18 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.monitors import HealthFinding, MonitorHub
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.tracer import NULL_SPAN, TraceEvent, Tracer
 
 __all__ = [
     "Counter",
     "Gauge",
+    "HealthFinding",
     "Histogram",
     "MetricsRegistry",
+    "MonitorHub",
+    "SamplingProfiler",
     "Tracer",
     "TraceEvent",
     "Observability",
@@ -58,11 +73,19 @@ class Observability:
         tracer: Optional[Tracer] = None,
         trace: bool = False,
         trace_capacity: int = 8192,
+        monitors: bool = False,
+        profiler: Optional[SamplingProfiler] = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(
             capacity=trace_capacity, enabled=trace
         )
+        #: Streaming monitor hub, or None when monitors are off (components
+        #: gate on ``obs.monitors is not None`` once per batch entry point).
+        self.monitors: Optional[MonitorHub] = MonitorHub() if monitors else None
+        #: A profiler owned by this run (the CLI/bench runner starts and
+        #: stops it; instrumented code never touches it).
+        self.profiler: Optional[SamplingProfiler] = profiler
         #: Serialized RunResults recorded by the bench runner (in run order).
         self.runs: List[Dict[str, object]] = []
 
@@ -112,6 +135,8 @@ class _NullObservability(Observability):
     def __init__(self) -> None:  # no registry/tracer allocation
         self.registry = None  # type: ignore[assignment]
         self.tracer = None  # type: ignore[assignment]
+        self.monitors = None
+        self.profiler = None
         self.runs = []
 
     @property

@@ -1,0 +1,152 @@
+"""``repro doctor``: run (or load) a workload and diagnose its health.
+
+The doctor closes the loop the monitors open: it collects the three
+snapshots health rules understand — metrics, monitors, trace — from either
+a live instrumented run or a saved ``BENCH_*.json`` artifact, evaluates
+every threshold rule in :mod:`repro.obs.monitors`, and renders the findings
+with remediation hints phrased against the knobs
+:mod:`repro.core.advisor` exposes.
+
+Two seeded scenarios make the diagnosis testable end to end:
+
+* ``healthy`` — the paper's near-sorted sweet spot (K=10%, L=5%) with an
+  adequately sized buffer; evaluates clean (no warning/critical findings);
+* ``drift`` — the same stream whose sortedness collapses mid-run (the
+  second part is a uniform shuffle) in front of an undersized buffer; the
+  doctor reports the collapse (critical) and the degraded bulk-load
+  fraction (warning).
+
+Both the live path and the artifact path go through
+:func:`~repro.obs.monitors.build_signals`, so ``repro doctor`` and
+``repro doctor --from artifact.json`` can never disagree about the same
+run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import Observability, observe
+from repro.obs.monitors import (
+    HealthFinding,
+    build_signals,
+    evaluate_signals,
+)
+
+#: The seeded scenarios (also the CLI choices).
+SCENARIOS = ("healthy", "drift")
+
+
+def run_scenario(
+    scenario: str = "healthy",
+    n: int = 20_000,
+    seed: int = 7,
+    read_fraction: float = 0.3,
+    buffer_fraction: Optional[float] = None,
+    trace: bool = False,
+    obs: Optional[Observability] = None,
+) -> Observability:
+    """Run one seeded scenario under full monitoring; returns its obs.
+
+    Pass ``obs`` to observe the run through an existing object (``repro
+    top`` shares one between its workload thread and its render loop);
+    by default a fresh monitored Observability is created.
+
+    ``drift`` splits the stream 50/50: a (K=10%, L=5%) near-sorted prefix,
+    then a uniform shuffle of the next key range — the arrival sortedness
+    collapse of the paper's motivating scenario — in front of a buffer a
+    quarter of the healthy size.
+    """
+    from repro.bench.experiments import common
+    from repro.bench.runner import run_phases
+    from repro.sortedness.generator import generate_kl_keys, scrambled_keys
+
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r} (choices: {SCENARIOS})")
+
+    if scenario == "healthy":
+        keys = list(common.keys_for(n, 0.10, 0.05, seed=seed))
+        fraction = buffer_fraction if buffer_fraction is not None else 0.02
+    else:
+        n_sorted = n // 2
+        keys = generate_kl_keys(n_sorted, 0.10, 0.05, seed=seed)
+        # The collapse: the rest of the key range arrives uniformly
+        # shuffled, so late drift windows sit near K%=100.
+        keys = keys + scrambled_keys(n - n_sorted, seed=seed + 1, start=n_sorted)
+        fraction = buffer_fraction if buffer_fraction is not None else 0.005
+
+    ops = common.mixed_ops(tuple(keys), read_fraction, seed=seed)
+    if obs is None:
+        obs = Observability(trace=trace, monitors=True)
+    with observe(obs):
+        run_phases(
+            common.sa_btree_factory(common.buffer_config(n, fraction)),
+            [("mixed", ops)],
+            label=f"doctor-{scenario}",
+        )
+    return obs
+
+
+def evaluate_obs(obs: Observability, poll: bool = True) -> List[HealthFinding]:
+    """Evaluate health rules against a live observability object."""
+    signals = build_signals(
+        obs.registry.snapshot(poll=poll) if obs.registry is not None else None,
+        obs.monitors.snapshot() if obs.monitors is not None else None,
+        obs.tracer.snapshot() if obs.tracer is not None else None,
+    )
+    return evaluate_signals(signals)
+
+
+def evaluate_artifact(doc: Dict[str, object]) -> List[HealthFinding]:
+    """Evaluate health rules against a saved ``BENCH_*.json`` artifact."""
+    return evaluate_signals(
+        build_signals(doc.get("metrics"), doc.get("monitors"), doc.get("trace"))
+    )
+
+
+_SEVERITY_MARK = {"critical": "✗", "warning": "!", "info": "·"}
+
+
+def split_findings(
+    findings: List[HealthFinding],
+) -> Tuple[List[HealthFinding], List[HealthFinding]]:
+    """(actionable, notes): warning/critical findings vs info notes."""
+    actionable = [f for f in findings if f.severity in ("warning", "critical")]
+    notes = [f for f in findings if f.severity == "info"]
+    return actionable, notes
+
+
+def format_report(findings: List[HealthFinding], source: str = "run") -> str:
+    """The human findings report (severities, values, remediation hints)."""
+    actionable, notes = split_findings(findings)
+    lines = [f"repro doctor — {source}"]
+    if not actionable:
+        lines.append("health: OK — no findings")
+    else:
+        worst = actionable[0].severity
+        lines.append(
+            f"health: {worst.upper()} — "
+            f"{len(actionable)} finding{'s' if len(actionable) != 1 else ''}"
+        )
+    for finding in actionable:
+        mark = _SEVERITY_MARK.get(finding.severity, "?")
+        lines.append(f"  {mark} [{finding.severity}] {finding.code}")
+        lines.append(f"      {finding.message}")
+        lines.append(f"      fix: {finding.remediation}")
+    for note in notes:
+        lines.append(f"  · [note] {note.code}: {note.message}")
+    return "\n".join(lines) + "\n"
+
+
+def report_document(
+    findings: List[HealthFinding], source: str = "run"
+) -> Dict[str, object]:
+    """The machine-readable doctor report (the CI-uploaded artifact)."""
+    actionable, notes = split_findings(findings)
+    return {
+        "schema": "repro-doctor/v1",
+        "source": source,
+        "healthy": not actionable,
+        "findings": [f.to_dict() for f in actionable],
+        "notes": [f.to_dict() for f in notes],
+    }

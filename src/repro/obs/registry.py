@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_left
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -190,6 +190,11 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._collectors: Dict[str, Callable[[], Dict[str, float]]] = {}
+        # Collector values from the most recent poll; reused by
+        # ``snapshot(poll=False)`` so one export cycle (e.g. ``repro stats``
+        # rendering + telemetry emission in the same run) charges each
+        # collector exactly once instead of polling per consumer.
+        self._collected: Optional[Dict[str, float]] = None
 
     # -- creation / lookup -------------------------------------------------
     def counter(self, name: str, help: str = "") -> Counter:
@@ -236,21 +241,44 @@ class MetricsRegistry:
         return unique
 
     # -- reading -----------------------------------------------------------
-    def collect_gauges(self) -> Dict[str, float]:
-        """Explicit gauges plus every numeric value the collectors report."""
+    def help_texts(self) -> Dict[str, str]:
+        """Non-empty help strings by metric name (for ``# HELP`` lines)."""
+        out: Dict[str, str] = {}
+        for table in (self._counters, self._gauges, self._histograms):
+            for name, metric in table.items():
+                if metric.help:
+                    out[name] = metric.help
+        return out
+
+    def collect_gauges(self, poll: bool = True) -> Dict[str, float]:
+        """Explicit gauges plus every numeric value the collectors report.
+
+        ``poll=False`` reuses the values from the previous poll (if any) —
+        the single-poll contract for export cycles that render the same
+        registry more than once (Prometheus text + JSON artifact of one
+        run must agree, and stateful collectors must not be charged twice).
+        """
+        if not poll and self._collected is not None:
+            return dict(self._collected)
         out = {name: gauge.value for name, gauge in self._gauges.items()}
         for prefix, fn in self._collectors.items():
             for key, value in fn().items():
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     continue
                 out[sanitize_name(f"{prefix}_{key}")] = float(value)
+        self._collected = dict(out)
         return out
 
-    def snapshot(self) -> Dict[str, object]:
-        """A JSON-serializable snapshot of everything in the registry."""
+    def snapshot(self, poll: bool = True) -> Dict[str, object]:
+        """A JSON-serializable snapshot of everything in the registry.
+
+        ``poll=False`` reuses the collector values of the previous snapshot
+        (see :meth:`collect_gauges`), so a run that both renders stats and
+        emits telemetry polls each collector exactly once.
+        """
         return {
             "counters": {n: c.value for n, c in self._counters.items()},
-            "gauges": self.collect_gauges(),
+            "gauges": self.collect_gauges(poll=poll),
             "histograms": {
                 n: {
                     "buckets": list(h.bounds),

@@ -1,4 +1,4 @@
-"""Ring-buffered structured event tracing.
+"""Ring-buffered structured event tracing with causal identity.
 
 A :class:`Tracer` records :class:`TraceEvent` rows — point events and spans
 (begin/end with duration) — into a bounded ring so long runs cannot grow
@@ -7,6 +7,24 @@ memory without bound. Span nesting mirrors
 KL-sort inside it is a deeper span, Bloom skips inside a lookup are point
 events at the current depth.
 
+Since obs v2, every recorded row also carries *causal identity*:
+
+* ``span_id`` — unique per span (point events get none);
+* ``parent_id`` — the span open on the same thread when this row was
+  recorded, so a flush cycle's sorts, routing decisions, WAL appends and
+  backend bulk loads all chain back to the operation that triggered them;
+* ``trace_id`` — the identity of the whole causal tree. A span that opens
+  with no parent (a top-level ``put_many``, a lookup, a checkpoint) starts
+  a fresh trace; everything nested under it inherits the id;
+* ``tid`` — a small per-tracer thread number (``threading.get_ident``
+  values are large and unstable; a dense mapping renders better in trace
+  viewers), recorded so the concurrent front-end's interleavings are
+  visible per thread.
+
+Nesting state is thread-local: two threads flushing concurrently build two
+independent, correctly-parented trees. The ring buffer itself is shared and
+guarded by a small lock (enabled tracing only; see below).
+
 Disabled tracing (the default) must cost nothing measurable on hot paths:
 ``event`` returns after one attribute test, and ``span`` hands back a shared
 no-op context manager instead of allocating anything.
@@ -14,6 +32,8 @@ no-op context manager instead of allocating anything.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -29,6 +49,10 @@ class TraceEvent:
     depth: int
     dur_ns: Optional[int] = None
     attrs: Dict[str, object] = field(default_factory=dict)
+    trace_id: Optional[int] = None
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    tid: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {"name": self.name, "t_ns": self.t_ns, "depth": self.depth}
@@ -36,6 +60,10 @@ class TraceEvent:
             out["dur_ns"] = self.dur_ns
         if self.attrs:
             out["attrs"] = dict(self.attrs)
+        for key in ("trace_id", "span_id", "parent_id", "tid"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
         return out
 
 
@@ -57,37 +85,68 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
-class _Span:
-    """A live span: records its duration and attributes on exit."""
+class _ThreadState:
+    """Per-thread nesting state: the stack of open span ids + trace id."""
 
-    __slots__ = ("_tracer", "name", "attrs", "_start")
+    __slots__ = ("stack", "trace_id")
+
+    def __init__(self) -> None:
+        self.stack: List[int] = []
+        self.trace_id: Optional[int] = None
+
+
+class _Span:
+    """A live span: records its duration, identity and attributes on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_span_id", "_parent_id", "_trace_id")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
         self._start = 0
+        self._span_id = 0
+        self._parent_id: Optional[int] = None
+        self._trace_id: Optional[int] = None
 
     def set(self, **attrs) -> None:
         """Attach attributes discovered while the span is open."""
         self.attrs.update(attrs)
 
     def __enter__(self) -> "_Span":
-        self._start = self._tracer._clock()
-        self._tracer._depth += 1
+        tracer = self._tracer
+        state = tracer._thread_state()
+        self._span_id = next(tracer._ids)
+        if state.stack:
+            self._parent_id = state.stack[-1]
+            self._trace_id = state.trace_id
+        else:
+            # A parentless span roots a fresh causal tree.
+            self._parent_id = None
+            self._trace_id = state.trace_id = next(tracer._ids)
+        state.stack.append(self._span_id)
+        self._start = tracer._clock()
         return self
 
     def __exit__(self, *exc) -> None:
         tracer = self._tracer
-        tracer._depth -= 1
         now = tracer._clock()
+        state = tracer._thread_state()
+        if state.stack and state.stack[-1] == self._span_id:
+            state.stack.pop()
+        if not state.stack:
+            state.trace_id = None
         tracer._record(
             TraceEvent(
                 name=self.name,
                 t_ns=self._start,
-                depth=tracer._depth,
+                depth=len(state.stack),
                 dur_ns=now - self._start,
                 attrs=self.attrs,
+                trace_id=self._trace_id,
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                tid=tracer._tid(),
             )
         )
 
@@ -102,9 +161,33 @@ class Tracer:
         self.enabled = enabled
         self._clock = clock if clock is not None else time.perf_counter_ns
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
-        self._depth = 0
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        self._tids: Dict[int, int] = {}
         self.dropped = 0
         self.recorded = 0
+
+    # -- identity ----------------------------------------------------------
+    def _thread_state(self) -> _ThreadState:
+        state = getattr(self._tls, "state", None)
+        if state is None:
+            state = self._tls.state = _ThreadState()
+        return state
+
+    def _tid(self) -> int:
+        """Dense thread number for the calling thread (1, 2, ...)."""
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids) + 1)
+        return tid
+
+    @property
+    def _depth(self) -> int:
+        """Current nesting depth on the calling thread (test/debug aid)."""
+        return len(self._thread_state().stack)
 
     # -- control -----------------------------------------------------------
     def enable(self) -> None:
@@ -114,24 +197,37 @@ class Tracer:
         self.enabled = False
 
     def clear(self) -> None:
-        self._events.clear()
-        self.dropped = 0
-        self.recorded = 0
-        self._depth = 0
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+            self.recorded = 0
+        state = self._thread_state()
+        state.stack.clear()
+        state.trace_id = None
 
     # -- recording ---------------------------------------------------------
     def _record(self, event: TraceEvent) -> None:
-        if len(self._events) == self.capacity:
-            self.dropped += 1
-        self._events.append(event)
-        self.recorded += 1
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+            self.recorded += 1
 
     def event(self, name: str, **attrs) -> None:
         """Record a point event (no-op while disabled)."""
         if not self.enabled:
             return
+        state = self._thread_state()
         self._record(
-            TraceEvent(name=name, t_ns=self._clock(), depth=self._depth, attrs=attrs)
+            TraceEvent(
+                name=name,
+                t_ns=self._clock(),
+                depth=len(state.stack),
+                attrs=attrs,
+                trace_id=state.trace_id,
+                parent_id=state.stack[-1] if state.stack else None,
+                tid=self._tid(),
+            )
         )
 
     def span(self, name: str, **attrs):
@@ -142,7 +238,22 @@ class Tracer:
 
     # -- reading -----------------------------------------------------------
     def events(self) -> List[TraceEvent]:
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Ring-buffer accounting, for JSON snapshots and bench artifacts.
+
+        ``truncated`` is the headline flag: when True, ``dropped`` earlier
+        events were evicted by the ring and any analysis over the retained
+        window is biased toward the end of the run.
+        """
+        return {
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+            "truncated": self.dropped > 0,
+        }
 
     def __len__(self) -> int:
         return len(self._events)

@@ -38,6 +38,7 @@ import os
 import pickle
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -230,19 +231,38 @@ class WriteAheadLog:
         return self._append(frames)
 
     def _append(self, frames: List[bytes]) -> int:
-        with self._lock:
-            if self._closed:
-                raise WALError("write-ahead log is closed")
-            for frame in frames:
-                self._file.write(frame)
-                self.bytes_written += len(frame)
-            self.records += len(frames)
-            if self.fsync_policy == FSYNC_ALWAYS:
-                fsync_file(self._file)
-                self.syncs += 1
-            elif self.fsync_policy == FSYNC_BATCH:
-                self._file.flush()
-            return self.records
+        with self.obs.span("wal.append", frames=len(frames)):
+            with self._lock:
+                if self._closed:
+                    raise WALError("write-ahead log is closed")
+                for frame in frames:
+                    self._file.write(frame)
+                    self.bytes_written += len(frame)
+                self.records += len(frames)
+                if self.fsync_policy == FSYNC_ALWAYS:
+                    self._timed_fsync()
+                elif self.fsync_policy == FSYNC_BATCH:
+                    self._file.flush()
+                return self.records
+
+    def _timed_fsync(self) -> None:
+        """fsync with latency observability (histogram + monitor feed).
+
+        Callers hold ``_lock``. The timing pair costs two clock reads per
+        sync — noise next to the syscall it brackets — and feeds both the
+        ``wal_fsync_ns`` histogram (p99 drives the ``wal_fsync_slow``
+        health rule) and the monitor hub's fsync totals.
+        """
+        start = time.perf_counter_ns()
+        fsync_file(self._file)
+        elapsed = time.perf_counter_ns() - start
+        self.syncs += 1
+        obs = self.obs
+        if obs is not NULL_OBS:
+            obs.observe_hist("wal_fsync_ns", elapsed)
+            hub = obs.monitors
+            if hub is not None:
+                hub.observe_fsync(elapsed)
 
     # -- lifecycle ---------------------------------------------------------
     def sync(self) -> None:
@@ -250,8 +270,7 @@ class WriteAheadLog:
         with self._lock:
             if self._closed:
                 raise WALError("write-ahead log is closed")
-            fsync_file(self._file)
-            self.syncs += 1
+            self._timed_fsync()
 
     def reset(self) -> None:
         """Truncate the log to empty (called once a checkpoint is durable).
@@ -261,14 +280,14 @@ class WriteAheadLog:
         replays idempotent upserts/deletes onto state that already
         contains them.
         """
-        with self._lock:
-            if self._closed:
-                raise WALError("write-ahead log is closed")
-            self._file.seek(0)
-            self._file.truncate(0)
-            fsync_file(self._file)
-            self.resets += 1
-            self.syncs += 1
+        with self.obs.span("wal.reset"):
+            with self._lock:
+                if self._closed:
+                    raise WALError("write-ahead log is closed")
+                self._file.seek(0)
+                self._file.truncate(0)
+                self._timed_fsync()
+                self.resets += 1
 
     def tail_bytes(self) -> int:
         """Bytes currently in the log (since the last reset)."""

@@ -199,6 +199,124 @@ class TestRecover:
         assert "recovery failed" in capsys.readouterr().err
 
 
+class TestTracePerfetto:
+    def test_writes_schema_valid_trace_event_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_perfetto
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--n", "1500", "--perfetto", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "Chrome trace-event JSON" in captured.err
+        doc = json.loads(out.read_text())
+        assert validate_perfetto(doc) == []
+        names = {row["name"] for row in doc["traceEvents"]}
+        assert "sware.flush_cycle" in names
+        assert "process_name" in names
+
+
+class TestExperimentProfile:
+    def test_profile_prints_layer_table(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        assert main(["experiment", "fig09", "--n", "400", "--profile"]) == 0
+        assert "profile (sampled at" in capsys.readouterr().out
+
+    def test_profile_section_lands_in_artifact(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        from repro.bench.telemetry import validate_bench_artifact
+
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        out = tmp_path / "out.json"
+        args = ["experiment", "fig13", "--n", "800", "--profile",
+                "--json", str(out)]
+        assert main(args) == 0
+        doc = json.loads(out.read_text())
+        assert validate_bench_artifact(doc) == []
+        assert doc["profile"]["hz"] > 0
+
+
+class TestDoctor:
+    def test_healthy_scenario_is_clean(self, capsys):
+        args = ["doctor", "--scenario", "healthy", "--n", "3000", "--check"]
+        assert main(args) == 0
+        assert "health: OK — no findings" in capsys.readouterr().out
+
+    def test_drift_scenario_fails_check(self, capsys):
+        args = ["doctor", "--scenario", "drift", "--n", "6000", "--check"]
+        assert main(args) == 1
+        out = capsys.readouterr().out
+        assert "health: CRITICAL" in out
+        assert "sortedness_collapse" in out
+        assert "buffer_undersized" in out
+        assert "fix:" in out
+
+    def test_drift_without_check_still_exits_zero(self, capsys):
+        assert main(["doctor", "--scenario", "drift", "--n", "6000"]) == 0
+        assert "sortedness_collapse" in capsys.readouterr().out
+
+    def test_json_report_and_bench_artifact(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.telemetry import validate_bench_artifact
+
+        report = tmp_path / "report.json"
+        bench = tmp_path / "bench.json"
+        args = ["doctor", "--scenario", "drift", "--n", "6000",
+                "--json", str(report), "--bench", str(bench)]
+        assert main(args) == 0
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro-doctor/v1"
+        assert doc["healthy"] is False
+        assert {f["code"] for f in doc["findings"]} >= {
+            "sortedness_collapse", "buffer_undersized"
+        }
+        artifact = json.loads(bench.read_text())
+        assert validate_bench_artifact(artifact) == []
+        assert artifact["experiment"] == "doctor_drift"
+        capsys.readouterr()
+
+        # The artifact path reproduces the live diagnosis.
+        assert main(["doctor", "--from", str(bench), "--check"]) == 1
+        assert "sortedness_collapse" in capsys.readouterr().out
+
+    def test_from_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["doctor", "--from", str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_from_invalid_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["doctor", "--from", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["doctor", "--scenario", "chaos"])
+
+
+class TestTop:
+    def test_renders_frames_without_clearing(self, capsys):
+        args = ["top", "--scenario", "healthy", "--n", "2000",
+                "--interval", "0.05", "--no-clear"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "repro top — scenario:healthy (n=2000)" in out
+        for label in ("sortedness", "buffer", "bloom", "health"):
+            assert label in out
+        assert "\x1b[2J" not in out
+
+    def test_frame_cap_and_clear(self, capsys):
+        args = ["top", "--scenario", "healthy", "--n", "2000",
+                "--interval", "0.05", "--frames", "2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.count("health") >= 1
+        assert "\x1b[2J" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

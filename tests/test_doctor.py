@@ -1,0 +1,170 @@
+"""Tests for ``repro doctor`` scenarios/reports and the ``repro top`` view."""
+
+import json
+import threading
+
+import pytest
+
+from repro.bench.telemetry import (
+    build_bench_artifact,
+    save_bench_artifact,
+    validate_bench_artifact,
+)
+from repro.obs import Observability
+from repro.obs.doctor import (
+    SCENARIOS,
+    evaluate_artifact,
+    evaluate_obs,
+    format_report,
+    report_document,
+    run_scenario,
+    split_findings,
+)
+from repro.obs.top import format_dashboard, live_loop, spark
+
+
+@pytest.fixture(scope="module")
+def healthy_obs():
+    return run_scenario("healthy", n=4000, trace=True)
+
+
+@pytest.fixture(scope="module")
+def drift_obs():
+    return run_scenario("drift", n=6000, trace=True)
+
+
+class TestScenarios:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario("nope", n=100)
+
+    def test_healthy_scenario_evaluates_clean(self, healthy_obs):
+        actionable, _notes = split_findings(evaluate_obs(healthy_obs))
+        assert actionable == []
+
+    def test_drift_scenario_reports_collapse_and_undersizing(self, drift_obs):
+        actionable, _notes = split_findings(evaluate_obs(drift_obs))
+        codes = [f.code for f in actionable]
+        assert "sortedness_collapse" in codes
+        assert "buffer_undersized" in codes
+        # Most severe first: the collapse (critical) leads the report.
+        assert actionable[0].code == "sortedness_collapse"
+
+    def test_scenario_runs_populate_monitors_and_trace(self, drift_obs):
+        snap = drift_obs.monitors.snapshot()
+        assert len(snap["sortedness"]["windows"]) >= 4
+        assert snap["saturation"]["flushes"] > 0
+        assert snap["bloom"]["expected_fpr_samples"]
+        assert drift_obs.tracer.recorded > 0
+
+    def test_external_obs_is_used(self):
+        obs = Observability(monitors=True)
+        returned = run_scenario("healthy", n=1000, obs=obs)
+        assert returned is obs
+        assert obs.monitors.sortedness.keys_observed == 1000
+
+    def test_scenario_names_exported(self):
+        assert SCENARIOS == ("healthy", "drift")
+
+
+class TestArtifactParity:
+    def test_live_and_artifact_paths_agree(self, drift_obs, tmp_path):
+        live = evaluate_obs(drift_obs, poll=False)
+        doc = build_bench_artifact("doctor_drift", drift_obs, poll=False)
+        assert validate_bench_artifact(doc) == []
+        path = save_bench_artifact(doc, tmp_path / "BENCH_doctor_drift.json")
+        loaded = json.loads(path.read_text())
+        from_artifact = evaluate_artifact(loaded)
+        assert [f.to_dict() for f in from_artifact] == [f.to_dict() for f in live]
+
+    def test_artifact_without_obs_sections_evaluates_empty(self):
+        assert evaluate_artifact({}) == []
+
+
+class TestReports:
+    def test_format_report_clean(self, healthy_obs):
+        text = format_report(evaluate_obs(healthy_obs, poll=False), source="unit")
+        assert "repro doctor — unit" in text
+        assert "health: OK — no findings" in text
+
+    def test_format_report_findings(self, drift_obs):
+        text = format_report(evaluate_obs(drift_obs, poll=False), source="unit")
+        assert "health: CRITICAL" in text
+        assert "sortedness_collapse" in text
+        assert "fix:" in text  # remediation hints are rendered
+
+    def test_report_document_shape(self, drift_obs):
+        findings = evaluate_obs(drift_obs, poll=False)
+        doc = report_document(findings, source="unit")
+        assert doc["schema"] == "repro-doctor/v1"
+        assert doc["healthy"] is False
+        assert doc["findings"][0]["code"] == "sortedness_collapse"
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_report_document_healthy(self, healthy_obs):
+        doc = report_document(evaluate_obs(healthy_obs, poll=False))
+        assert doc["healthy"] is True
+        assert doc["findings"] == []
+
+
+class TestSpark:
+    def test_levels_and_clipping(self):
+        assert spark([]) == "(no samples)"
+        strip = spark([0.0, 0.5, 1.0, 2.0])
+        assert len(strip) == 4
+        assert strip[0] == " " and strip[2] == "█" == strip[3]
+
+    def test_width_keeps_tail(self):
+        assert len(spark([0.5] * 100, width=10)) == 10
+
+
+class TestDashboard:
+    def test_dashboard_renders_all_sections(self, drift_obs):
+        text = format_dashboard(drift_obs, title="unit top")
+        assert text.startswith("unit top\n========")
+        for label in ("sortedness", "buffer", "flushes", "bloom",
+                      "wal fsync", "locks", "trace", "health"):
+            assert label in text
+        assert "CRITICAL" in text and "sortedness_collapse" in text
+
+    def test_dashboard_on_empty_obs(self):
+        text = format_dashboard(Observability(trace=True, monitors=True))
+        assert "(warming up)" in text
+        assert "health       OK" in text
+
+    def test_dropped_events_surface(self, drift_obs):
+        assert drift_obs.tracer.dropped > 0
+        assert "dropped (ring truncated)" in format_dashboard(drift_obs)
+
+
+class TestLiveLoop:
+    def test_renders_final_frame_after_done(self):
+        import io
+
+        obs = Observability(trace=True, monitors=True)
+        done = threading.Event()
+        done.set()
+        out = io.StringIO()
+        rendered = live_loop(obs, done, interval=0.01, clear=False, out=out)
+        assert rendered == 1
+        assert "health" in out.getvalue()
+
+    def test_frames_limit(self):
+        import io
+
+        obs = Observability(monitors=True)
+        done = threading.Event()  # never set: the frame cap must stop us
+        out = io.StringIO()
+        rendered = live_loop(obs, done, interval=0.01, frames=3,
+                             clear=False, out=out)
+        assert rendered == 3
+        assert out.getvalue().count("health") == 3
+
+    def test_clear_emits_ansi(self):
+        import io
+
+        done = threading.Event()
+        done.set()
+        out = io.StringIO()
+        live_loop(Observability(monitors=True), done, clear=True, out=out)
+        assert out.getvalue().startswith("\x1b[2J\x1b[H")

@@ -245,6 +245,53 @@ class TestRegistrySnapshot:
         assert json.loads(json.dumps(snap)) == snap
 
 
+class TestSinglePoll:
+    """Stateful collectors are charged exactly once per export cycle."""
+
+    def _registry_with_counting_collector(self):
+        registry = MetricsRegistry()
+        polls = {"n": 0}
+
+        def collect():
+            polls["n"] += 1
+            return {"value": float(polls["n"])}
+
+        registry.register_collector("src", collect)
+        return registry, polls
+
+    def test_snapshot_poll_false_reuses_previous_poll(self):
+        registry, polls = self._registry_with_counting_collector()
+        first = registry.snapshot()
+        assert polls["n"] == 1
+        second = registry.snapshot(poll=False)
+        assert polls["n"] == 1  # not charged again
+        assert second["gauges"] == first["gauges"]
+        third = registry.snapshot()  # a fresh cycle polls again
+        assert polls["n"] == 2
+        assert third["gauges"]["src_value"] == 2.0
+
+    def test_poll_false_before_any_poll_still_collects(self):
+        registry, polls = self._registry_with_counting_collector()
+        gauges = registry.collect_gauges(poll=False)
+        assert polls["n"] == 1
+        assert gauges["src_value"] == 1.0
+
+    def test_bench_artifact_agrees_with_rendered_stats(self):
+        from repro.bench.telemetry import build_bench_artifact
+
+        registry, polls = self._registry_with_counting_collector()
+        obs = Observability()
+        obs.registry = registry
+        obs.record_run(
+            {"phases": [{"name": "p", "n_ops": 1, "sim_ns": 1, "wall_ns": 1}],
+             "bucket_sim_ns": {}, "counts": {}}
+        )
+        rendered = snapshot_to_prometheus(registry.snapshot())
+        doc = build_bench_artifact("unit", obs, poll=False)
+        assert polls["n"] == 1  # one poll served both exports
+        assert snapshot_to_prometheus(doc["metrics"]) == rendered
+
+
 class TestExporters:
     def test_prometheus_format(self):
         registry = MetricsRegistry()
@@ -268,6 +315,56 @@ class TestExporters:
         registry.counter("ops").inc(1)
         snap = json.loads(json.dumps(registry.snapshot()))
         assert snapshot_to_prometheus(snap) == to_prometheus(registry)
+
+    def test_empty_registry_renders_empty_exposition(self):
+        assert to_prometheus(MetricsRegistry()) == "\n"
+        assert snapshot_to_prometheus({}) == "\n"
+
+    def test_help_lines_for_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", help="operations applied")
+        registry.gauge("fill")
+        registry.histogram("lat", buckets=[10.0])
+        text = to_prometheus(registry)
+        # Explicit help text when given, generated fallback otherwise.
+        assert "# HELP repro_ops operations applied" in text
+        assert "# HELP repro_fill fill (gauge)" in text
+        assert "# HELP repro_lat lat (histogram)" in text
+
+    def test_nan_and_infinite_gauges_spelled_per_exposition_format(self):
+        snap = {
+            "gauges": {
+                "broken": float("nan"),
+                "ceiling": float("inf"),
+                "floor": float("-inf"),
+            }
+        }
+        text = snapshot_to_prometheus(snap)
+        assert "repro_broken NaN" in text
+        assert "repro_ceiling +Inf" in text
+        assert "repro_floor -Inf" in text
+        assert "nan" not in text  # repr() spelling would break scrapers
+
+    def test_snapshot_names_sanitized_on_the_way_out(self):
+        # An artifact may carry names a live registry would have rejected.
+        text = snapshot_to_prometheus({"counters": {"op.latency-total": 2}})
+        assert "repro_op_latency_total 2" in text
+
+    def test_inf_bucket_bound_in_snapshot_histogram(self):
+        snap = {
+            "histograms": {
+                "h": {
+                    "buckets": [1.0, float("inf")],
+                    "counts": [1, 2, 0],
+                    "sum": 5.0,
+                    "count": 3,
+                }
+            }
+        }
+        text = snapshot_to_prometheus(snap)
+        assert 'repro_h_bucket{le="1"} 1' in text
+        assert text.count('le="+Inf"') == 2  # the inf bound + the closing bucket
+        assert "repro_h_count 3" in text
 
     def test_render_trace(self):
         tracer = Tracer(enabled=True)
@@ -447,6 +544,18 @@ class TestCLI:
         capsys.readouterr()
         assert main(["stats", "--from", str(path)]) == 0
         assert "repro_op_insert_latency_ns_bucket" in capsys.readouterr().out
+
+    def test_stats_from_artifact_round_trip_parity(self, tmp_path, capsys):
+        # The exposition rendered from a saved artifact must equal the one
+        # rendered from the in-memory snapshot the artifact was built from.
+        from repro.cli import main
+
+        doc = TestBenchTelemetry()._artifact()
+        expected = snapshot_to_prometheus(doc["metrics"])
+        path = save_bench_artifact(doc, tmp_path / "BENCH_unit.json")
+        capsys.readouterr()
+        assert main(["stats", "--from", str(path)]) == 0
+        assert capsys.readouterr().out == expected
 
     def test_trace_output(self, capsys):
         from repro.cli import main
