@@ -1,0 +1,31 @@
+"""Gapped-node layout micro-bench (search, batch descent, split counts).
+
+Regenerates the numbers behind ``results/BENCH_nodes.json`` — the
+artifact the CI nodes perf gate compares against. ``python -m repro
+bench-nodes --json results/BENCH_nodes.json`` produces the committed
+baseline; this pytest wrapper runs the same experiment at a
+REPRO_SCALE-able size and sanity-checks the acceptance-critical ratios.
+"""
+
+from repro.bench.experiments import nodes
+
+N = 30_000
+
+
+def test_nodes(run_experiment):
+    result = run_experiment("nodes", nodes.run, n=N, repeats=2)
+    for gauge, value in result.throughputs.items():
+        assert value > 0, gauge
+    # Gap absorption + fission must collapse structural reorganizations on
+    # near-sorted ingest (the acceptance criterion is >= 5x; full-scale
+    # runs measure ~30-45x).
+    assert result.splits["near_sorted"]["reduction_x"] >= 5.0
+    # Batched descent must beat the per-op loop on the same gapped tree.
+    assert (
+        result.throughputs["nodes_batched_insert_ops_per_s"]
+        > result.throughputs["nodes_perop_insert_ops_per_s"]
+    )
+    assert (
+        result.throughputs["nodes_batched_lookup_ops_per_s"]
+        > result.throughputs["nodes_perop_lookup_ops_per_s"]
+    )

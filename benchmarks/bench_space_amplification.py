@@ -11,3 +11,12 @@ def test_space_utilization(run_experiment):
     assert result.data["near-sorted"]["savings"] > 0.20
     # SA's average leaf fill approaches the 95% bulk-load target.
     assert result.data["sorted"]["sa_fill"] > 0.85
+    # Logical vs physical occupancy: physical slots include the gapped
+    # layout's sentinel gap slots, so physical fill never exceeds logical
+    # fill and the identity logical = physical - gaps holds exactly.
+    for preset in ("sorted", "near-sorted"):
+        row = result.data[preset]
+        assert row["sa_physical_slots"] >= row["sa_slots"]
+        assert row["sa_physical_fill"] <= row["sa_fill"] + 1e-9
+        assert row["sa_physical_slots"] - row["sa_gap_slots"] == row["sa_logical_entries"]
+        assert row["sa_logical_entries"] > 0

@@ -1,0 +1,238 @@
+"""Gapped-node micro-bench: intra-node search, batch descent, split counts.
+
+Not a paper figure — this measures what the gapped (BS-tree direction)
+node layout buys over the classic list-packed layout, at three levels:
+
+* **intra-node search** — the branchless ``node_search_left`` kernel over a
+  sentinel-padded store vs a plain ``bisect_left`` on a Python list, both
+  per-key and batched (``leaf_find_positions`` over a whole key column,
+  which is where ``searchsorted`` amortizes its call overhead).
+* **batch descent** — full-tree ``insert_many``/``get_many`` against the
+  per-key API loop on the same gapped tree.
+* **split counts** — ingesting each (K,L) sortedness preset batched into a
+  classic vs a gapped tree and comparing structural reorganizations
+  (classic leaf splits vs gapped splits + fissions). Near-sorted runs land
+  in the gap slots and bulk-rebuild overflowing leaves, so the gapped
+  layout reorganizes far less often.
+
+Wall-clock throughputs are published as ``nodes_*_ops_per_s`` gauges
+flowing into ``results/BENCH_nodes.json`` where ``repro perf-gate`` tracks
+them against a committed python-backend baseline; the split-count ratios
+are published as ``nodes_split_reduction_<preset>_x`` gauges which the CI
+smoke asserts directly (near-sorted must stay >= 5x).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro import kernels
+from repro.bench.experiments import common
+from repro.bench.report import format_table
+from repro.bench.runner import PhaseResult, RunResult
+from repro.btree.btree import BPlusTree, BPlusTreeConfig
+from repro.obs import current_obs
+from repro.workloads.spec import value_for
+
+#: (label, K fraction, L fraction) presets for the split-count sweep.
+KL_GRID = [
+    ("sorted", 0.0, 0.0),
+    ("near_sorted", 0.10, 0.05),
+    ("less_sorted", 1.00, 0.50),
+]
+
+
+@dataclass
+class NodesResult:
+    report: str
+    #: gauge name -> operations per second (wall clock)
+    throughputs: Dict[str, float]
+    #: preset -> {"classic_splits": ..., "gapped_splits": ...,
+    #:            "gapped_fissions": ..., "reduction_x": ...}
+    splits: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    runs: List[RunResult] = field(default_factory=list)
+
+
+def _ops_per_s(n_ops: int, wall_ns: float) -> float:
+    return n_ops / wall_ns * 1e9 if wall_ns else 0.0
+
+
+def _best_wall(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in nanoseconds."""
+    clock = time.perf_counter_ns
+    best = None
+    for _ in range(max(1, repeats)):
+        start = clock()
+        fn()
+        wall = clock() - start
+        if best is None or wall < best:
+            best = wall
+    return float(best)
+
+
+def _tree(layout: str) -> BPlusTree:
+    return BPlusTree(
+        BPlusTreeConfig(
+            leaf_capacity=common.LEAF_CAPACITY,
+            internal_capacity=common.INTERNAL_CAPACITY,
+            node_layout=layout,
+        )
+    )
+
+
+def run(
+    n: int = 50_000,
+    batch: int = 4096,
+    k_fraction: float = 0.10,
+    l_fraction: float = 0.05,
+    repeats: int = 3,
+    seed: int = 7,
+) -> NodesResult:
+    n = common.scaled(n)
+    obs = current_obs()
+    throughputs: Dict[str, float] = {}
+    rows: List[list] = []
+
+    # -- intra-node search: one leaf-sized store, many probes -------------
+    cap = common.LEAF_CAPACITY
+    node_keys = [2 * i for i in range(cap)]
+    store = kernels.gapped_key_store(node_keys, cap + 1)
+    rng = random.Random(seed)
+    probes = [rng.randrange(0, 2 * cap + 2) for _ in range(n)]
+    probe_col = kernels.key_array(sorted(probes))
+
+    def scalar_gapped() -> None:
+        search = kernels.node_search_left
+        for key in probes:
+            search(store, cap, key)
+
+    def scalar_bisect() -> None:
+        for key in probes:
+            bisect_left(node_keys, key)
+
+    def batch_gapped() -> None:
+        find = kernels.leaf_find_positions
+        for i in range(0, n, batch):
+            find(store, cap, probe_col, i, min(i + batch, n))
+
+    search_run = RunResult(label="node_search")
+    for name, fn in (
+        ("search_scalar_gapped", scalar_gapped),
+        ("search_scalar_bisect", scalar_bisect),
+        ("search_batch_gapped", batch_gapped),
+    ):
+        wall = _best_wall(fn, repeats)
+        gauge = f"nodes_{name}_ops_per_s"
+        throughputs[gauge] = _ops_per_s(n, wall)
+        search_run.phases.append(
+            PhaseResult(name=name, n_ops=n, sim_ns=0.0, wall_ns=wall)
+        )
+        rows.append(["search", name, f"{n:,}", f"{wall / 1e6:.1f}",
+                     f"{throughputs[gauge] / 1e3:.0f}"])
+
+    # -- batch descent vs per-key API on a full gapped tree ---------------
+    keys = common.keys_for(n, k_fraction, l_fraction, seed=seed)
+    items = [(key, value_for(key)) for key in keys]
+    lookup_keys = list(keys)
+    random.Random(seed + 101).shuffle(lookup_keys)
+
+    def perop_insert() -> None:
+        tree = _tree("gapped")
+        insert = tree.insert
+        for key, value in items:
+            insert(key, value)
+
+    def batched_insert() -> None:
+        tree = _tree("gapped")
+        insert_many = tree.insert_many
+        for i in range(0, len(items), batch):
+            insert_many(items[i : i + batch])
+
+    loaded = _tree("gapped")
+    for i in range(0, len(items), batch):
+        loaded.insert_many(items[i : i + batch])
+
+    def perop_lookup() -> None:
+        get = loaded.get
+        for key in lookup_keys:
+            get(key)
+
+    def batched_lookup() -> None:
+        get_many = loaded.get_many
+        for i in range(0, len(lookup_keys), batch):
+            get_many(lookup_keys[i : i + batch])
+
+    descent_run = RunResult(label="batch_descent")
+    for name, fn in (
+        ("perop_insert", perop_insert),
+        ("batched_insert", batched_insert),
+        ("perop_lookup", perop_lookup),
+        ("batched_lookup", batched_lookup),
+    ):
+        wall = _best_wall(fn, repeats)
+        gauge = f"nodes_{name}_ops_per_s"
+        throughputs[gauge] = _ops_per_s(n, wall)
+        descent_run.phases.append(
+            PhaseResult(name=name, n_ops=n, sim_ns=0.0, wall_ns=wall)
+        )
+        rows.append(["descent", name, f"{n:,}", f"{wall / 1e6:.1f}",
+                     f"{throughputs[gauge] / 1e3:.0f}"])
+
+    # -- split counts per (K,L) preset: classic vs gapped ------------------
+    splits: Dict[str, Dict[str, float]] = {}
+    split_rows: List[list] = []
+    for label, k_frac, l_frac in KL_GRID:
+        preset_keys = common.keys_for(n, k_frac, l_frac, seed=seed)
+        preset_items = [(key, value_for(key)) for key in preset_keys]
+        counts = {}
+        for layout in ("classic", "gapped"):
+            tree = _tree(layout)
+            for i in range(0, len(preset_items), batch):
+                tree.insert_many(preset_items[i : i + batch])
+            counts[layout] = (tree.leaf_splits, getattr(tree, "leaf_fissions", 0))
+        classic_splits = counts["classic"][0]
+        gapped_reorgs = counts["gapped"][0] + counts["gapped"][1]
+        # Add-one smoothing so an all-zero preset (sorted data bulk-loads
+        # without any splits on either layout) reads 1.0x, not 0.0x.
+        reduction = (classic_splits + 1) / (gapped_reorgs + 1)
+        splits[label] = {
+            "classic_splits": classic_splits,
+            "gapped_splits": counts["gapped"][0],
+            "gapped_fissions": counts["gapped"][1],
+            "reduction_x": reduction,
+        }
+        obs.gauge(f"nodes_split_reduction_{label}_x", reduction)
+        split_rows.append(
+            [label, classic_splits, counts["gapped"][0], counts["gapped"][1],
+             f"{reduction:.1f}x"]
+        )
+
+    runs = [search_run, descent_run]
+    for run_result in runs:
+        obs.record_run(run_result.to_dict())
+    for gauge, value in throughputs.items():
+        obs.gauge(gauge, value)
+
+    table = format_table(["section", "config", "ops", "wall ms", "kops/s"], rows)
+    split_table = format_table(
+        ["preset", "classic splits", "gapped splits", "gapped fissions", "reduction"],
+        split_rows,
+        title="Structural reorganizations per batched ingest",
+    )
+    report = "\n".join(
+        [
+            f"Gapped-node micro-bench (n={n:,}, batch={batch}, "
+            f"leaf capacity {cap}, backend {kernels.active_backend()})",
+            "",
+            table,
+            "",
+            split_table,
+        ]
+    )
+    return NodesResult(
+        report=report, throughputs=throughputs, splits=splits, runs=runs
+    )

@@ -276,6 +276,7 @@ def run_phases(
     for attr in (
         "leaf_splits",
         "internal_splits",
+        "leaf_fissions",
         "leaf_count",
         "internal_count",
         "height",

@@ -157,29 +157,46 @@ def serialize_btree(tree) -> dict:
 
 
 def deserialize_btree(blob: dict):
-    """Rebuild a :class:`~repro.btree.BPlusTree` from serialized pages."""
+    """Rebuild a :class:`~repro.btree.BPlusTree` from serialized pages.
+
+    The node family is chosen by the config's ``node_layout``: the page
+    format itself is layout-agnostic (dense sorted key runs), so a gapped
+    tree rebuilds its sentinel-padded stores from the same bytes a classic
+    tree would produce.
+    """
+    from repro import kernels
     from repro.btree.btree import BPlusTree
-    from repro.btree.node import InternalNode, LeafNode
+    from repro.btree.node import GappedInternal, GappedLeaf, InternalNode, LeafNode
 
     tree = BPlusTree(blob["config"])
+    gapped = getattr(tree, "_gapped", False)
     if blob["root"] is None:
         return tree
     pages = blob["pages"]
-    leaves: List[LeafNode] = []
+    leaves: List[object] = []
 
     def load(page_id: int):
         data = pages[page_id]
         if page_kind(data) == KIND_LEAF:
             keys, values = decode_leaf(data)
-            leaf = LeafNode(page_id)
-            leaf.keys = keys
-            leaf.values = values
+            if gapped:
+                leaf = GappedLeaf(page_id, tree._leaf_physical)
+                leaf.replace(keys, values, tree._leaf_physical)
+            else:
+                leaf = LeafNode(page_id)
+                leaf.keys = keys
+                leaf.values = values
             leaves.append(leaf)
             tree.leaf_count += 1
             return leaf
         keys, children = decode_internal(data)
-        node = InternalNode(page_id)
-        node.keys = keys
+        if gapped:
+            node = GappedInternal(page_id, tree._internal_physical)
+            node.ks = kernels.gapped_key_store(keys, tree._internal_physical)
+            node.n = len(keys)
+        else:
+            node = InternalNode(page_id)
+            node.keys = keys
         node.children = [load(child) for child in children]
         tree.internal_count += 1
         return node
@@ -193,11 +210,16 @@ def deserialize_btree(blob: dict):
     tree._head_leaf = leaves[0] if leaves else None
     tree._tail_leaf = leaves[-1] if leaves else None
     tree._recompute_tail_path()
-    tree.n_entries = sum(len(leaf.keys) for leaf in leaves)
-    non_empty = [leaf for leaf in leaves if leaf.keys]
+    tree.n_entries = sum(len(leaf) for leaf in leaves)
+    non_empty = [leaf for leaf in leaves if len(leaf)]
     if non_empty:
-        tree._min_key = non_empty[0].keys[0]
-        tree._max_key = non_empty[-1].keys[-1]
+        first, last = non_empty[0], non_empty[-1]
+        if gapped:
+            tree._min_key = first.first_key()
+            tree._max_key = last.last_key()
+        else:
+            tree._min_key = first.keys[0]
+            tree._max_key = last.keys[-1]
     depth = 1
     node = tree._root
     while not node.is_leaf:

@@ -1,0 +1,351 @@
+"""Observational equivalence of the classic and gapped B+-tree layouts.
+
+The gapped node layout (``node_layout="gapped"``, the BS-tree direction) is
+a pure representation change: for any program of inserts, batch inserts,
+deletes and reads, a gapped tree must answer exactly like a classic tree —
+same items, same created counts, same lookup and range results — under
+*both* kernel backends, and the two backends must agree with each other.
+These properties pin that contract, mirroring what
+``tests/test_kernels_equivalence.py`` does for the kernel layer.
+
+Alongside the hypothesis programs: unit coverage for the gapped-specific
+machinery — sentinel-key demotion to list stores, config validation,
+fission accounting, the explicit physical-occupancy fields of
+``space_stats()``, checkpoint round-trips, coalesced-probe cache
+invalidation, and profiler layer attribution for the new modules.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernels
+from repro.btree.btree import BPlusTree, BPlusTreeConfig
+from repro.btree.node import GappedInternal, GappedLeaf
+from repro.errors import ConfigError
+from repro.obs.profiler import layer_for_module
+from repro.storage.costmodel import Meter
+from repro.storage.pages import deserialize_btree, serialize_btree
+
+HAS_NUMPY = kernels.numpy_available()
+requires_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not importable")
+
+BOTH_BACKENDS = ["python"] + (["numpy"] if HAS_NUMPY else [])
+
+SENTINEL = kernels.GAP_SENTINEL
+
+# Small keys drive dense trees with lots of structural churn; the edge keys
+# exercise demotion (sentinel, beyond-int64) and int64 boundaries.
+edge_keys = st.sampled_from([SENTINEL, 2**70, -(2**70), 2**63 - 2, -(2**63), 0])
+key_st = st.integers(min_value=0, max_value=200) | edge_keys
+
+ops_st = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), key_st),
+        st.tuples(st.just("insert_many"), st.lists(key_st, max_size=24)),
+        st.tuples(st.just("delete"), key_st),
+    ),
+    max_size=30,
+)
+
+
+def _tree(layout: str, **overrides) -> BPlusTree:
+    config = BPlusTreeConfig(
+        leaf_capacity=overrides.pop("leaf_capacity", 4),
+        internal_capacity=overrides.pop("internal_capacity", 4),
+        node_layout=layout,
+        **overrides,
+    )
+    return BPlusTree(config, meter=Meter())
+
+
+def _apply(tree: BPlusTree, ops) -> list:
+    """Replay an op program; returns the per-op observable results."""
+    results = []
+    for t, (op, arg) in enumerate(ops):
+        if op == "insert":
+            results.append(tree.insert(arg, f"v{arg}@{t}"))
+        elif op == "insert_many":
+            results.append(tree.insert_many([(k, f"v{k}@{t}") for k in arg]))
+        else:
+            results.append(tree.delete(arg))
+    return results
+
+
+def _observe(tree: BPlusTree, probe_keys) -> dict:
+    return {
+        "items": list(tree.iter_items()),
+        "len": len(tree),
+        "min": tree.min_key,
+        "max": tree.max_key,
+        "gets": [tree.get(k) for k in probe_keys],
+        "get_many": tree.get_many(probe_keys),
+        "range_all": tree.range_query(-(2**70) - 1, 2**70 + 1),
+        "range_mid": tree.range_query(40, 160),
+    }
+
+
+# ----------------------------------------------------------------------
+# layout equivalence programs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BOTH_BACKENDS)
+@given(ops=ops_st)
+@settings(max_examples=50, deadline=None)
+def test_gapped_matches_classic(backend, ops):
+    """Any op program observes identical behavior under both layouts."""
+    with kernels.use_backend(backend):
+        classic = _tree("classic")
+        gapped = _tree("gapped")
+        assert _apply(classic, ops) == _apply(gapped, ops)
+        probes = sorted({k for _op, arg in ops for k in
+                         (arg if isinstance(arg, list) else [arg])} | {17, -1})
+        assert _observe(classic, probes) == _observe(gapped, probes)
+        classic.check_invariants()
+        gapped.check_invariants()
+
+
+@requires_numpy
+@given(ops=ops_st)
+@settings(max_examples=50, deadline=None)
+def test_gapped_backends_agree(ops):
+    """The same gapped program is backend-invariant (python vs numpy)."""
+    observed = {}
+    for backend in ("python", "numpy"):
+        with kernels.use_backend(backend):
+            tree = _tree("gapped")
+            replay = _apply(tree, ops)
+            probes = sorted({k for _op, arg in ops for k in
+                             (arg if isinstance(arg, list) else [arg])})
+            observed[backend] = (replay, _observe(tree, probes))
+            tree.check_invariants()
+    assert observed["python"] == observed["numpy"]
+
+
+@pytest.mark.parametrize("backend", BOTH_BACKENDS)
+@given(keys=st.lists(key_st, min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_insert_many_matches_sequential_loop(backend, keys):
+    """Batch descent is an amortization, not a semantic change."""
+    items = [(k, f"v{k}@{t}") for t, k in enumerate(keys)]
+    with kernels.use_backend(backend):
+        batched = _tree("gapped")
+        sequential = _tree("gapped")
+        created_batch = batched.insert_many(items)
+        created_seq = sum(sequential.insert(k, v) for k, v in items)
+        assert created_batch == created_seq
+        assert list(batched.iter_items()) == list(sequential.iter_items())
+        batched.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# gapped merge kernels agree across backends
+# ----------------------------------------------------------------------
+sorted_unique = st.lists(
+    st.integers(min_value=0, max_value=500), max_size=40, unique=True
+).map(sorted)
+
+
+@requires_numpy
+@given(live=sorted_unique, run=st.lists(
+    st.integers(min_value=0, max_value=500), min_size=1, max_size=20, unique=True
+).map(sorted))
+@settings(max_examples=60, deadline=None)
+def test_merge_kernels_match(live, run):
+    results = {}
+    for backend in ("python", "numpy"):
+        with kernels.use_backend(backend):
+            store = kernels.gapped_key_store(live, len(live) + len(run))
+            col = kernels.key_array(run)
+            positions, is_new, n_created = kernels.merge_positions(
+                store, len(live), col
+            )
+            out = {
+                "positions": [int(p) for p in positions],
+                "is_new": [bool(b) for b in is_new],
+                "n_created": n_created,
+            }
+            if n_created == len(run):
+                merged = kernels.merge_insert_keys(
+                    store, len(live), col, 0, len(run), positions,
+                    len(live) + len(run),
+                )
+                out["merged"] = kernels.store_keys(merged, len(live) + len(run))
+            results[backend] = out
+    assert results["python"] == results["numpy"]
+
+
+@requires_numpy
+@given(chunks=st.lists(sorted_unique, min_size=1, max_size=5),
+       probes=st.lists(st.integers(min_value=0, max_value=500), max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_concat_probe_kernels_match(chunks, probes):
+    """The coalesced-probe pair agrees across backends when the combined
+    column is globally sorted (disjoint ascending chunks, as in the leaf
+    chain)."""
+    flat = sorted({k for chunk in chunks for k in chunk})
+    step = max(1, (len(flat) + len(chunks) - 1) // len(chunks))
+    chunks = [flat[i : i + step] for i in range(0, len(flat), step)] or [[]]
+    probes = sorted(probes)
+    results = {}
+    for backend in ("python", "numpy"):
+        with kernels.use_backend(backend):
+            stores = [kernels.gapped_key_store(c, len(c) + 2) for c in chunks]
+            ns = [len(c) for c in chunks]
+            combined, offsets = kernels.concat_stores(stores, ns)
+            col = kernels.key_array(probes)
+            owners, locals_ = kernels.probe_positions(
+                combined, sum(ns), list(offsets), col, len(probes)
+            )
+            results[backend] = ([int(o) for o in owners],
+                                [int(i) for i in locals_])
+    assert results["python"] == results["numpy"]
+    owners, locals_ = results["python"]
+    for t, key in enumerate(probes):
+        if owners[t] >= 0:
+            assert chunks[owners[t]][locals_[t]] == key
+        else:
+            assert all(key not in chunk for chunk in chunks)
+
+
+@requires_numpy
+@given(batch=st.lists(st.tuples(st.integers(0, 50), st.integers(0, 5)),
+                      max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_dedup_column_kernels_match(batch):
+    batch = sorted([(k, f"v{k}.{s}") for k, s in batch])
+    results = {}
+    for backend in ("python", "numpy"):
+        with kernels.use_backend(backend):
+            col = kernels.key_array([k for k, _v in batch])
+            deduped, col2 = kernels.dedup_sorted_items_col(list(batch), col)
+            results[backend] = (
+                deduped,
+                [int(k) for k in col2],
+                kernels.column_strictly_increasing(col),
+            )
+    assert results["python"] == results["numpy"]
+    deduped, col2, _ = results["python"]
+    assert col2 == [k for k, _v in deduped]
+    assert kernels.column_strictly_increasing(col2) or not deduped
+
+
+# ----------------------------------------------------------------------
+# gapped-specific machinery
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_rejects_unknown_layout(self):
+        with pytest.raises(ConfigError):
+            BPlusTreeConfig(node_layout="packed")
+
+    def test_rejects_out_of_range_high_water(self):
+        for bad in (0.4, 1.1):
+            with pytest.raises(ConfigError):
+                BPlusTreeConfig(gap_high_water=bad)
+
+    def test_gapped_is_default(self):
+        assert BPlusTreeConfig().node_layout == "gapped"
+
+
+@pytest.mark.parametrize("backend", BOTH_BACKENDS)
+@pytest.mark.parametrize("weird", [SENTINEL, 2**70, -(2**70)])
+class TestDemotion:
+    def test_unrepresentable_key_demotes_and_serves(self, backend, weird):
+        with kernels.use_backend(backend):
+            tree = _tree("gapped")
+            tree.insert_many([(k, f"v{k}") for k in range(10)])
+            tree.insert(weird, "weird")
+            assert tree.get(weird) == "weird"
+            # The leaf that absorbed the key fell back to a plain list store.
+            leaf = tree._head_leaf
+            demoted = []
+            while leaf is not None:
+                demoted.append(type(leaf.ks) is list)
+                leaf = leaf.next_leaf
+            assert any(demoted)
+            tree.insert(weird - 1, "w2")
+            assert tree.get(weird - 1) == "w2"
+            assert tree.delete(weird) is True
+            assert tree.get(weird) is None
+            tree.check_invariants()
+
+
+@pytest.mark.parametrize("backend", BOTH_BACKENDS)
+def test_fission_replaces_split_storm(backend):
+    """A big run landing in one leaf rebuilds it in one structural event."""
+    with kernels.use_backend(backend):
+        tree = _tree("gapped", leaf_capacity=8)
+        tree.insert_many([(k, k) for k in range(0, 1000, 10)])
+        before = tree.leaf_splits
+        tree.insert_many([(k, k) for k in range(101, 161)])  # one-leaf run
+        assert tree.leaf_fissions >= 1
+        counts = tree.meter.snapshot()
+        assert counts.get("leaf_fission", 0) == tree.leaf_fissions
+        # The run did not cascade through per-key splits.
+        assert tree.leaf_splits - before <= 1
+        tree.check_invariants()
+
+    with kernels.use_backend(backend):
+        classic = _tree("classic", leaf_capacity=8)
+        classic.insert_many([(k, k) for k in range(0, 1000, 10)])
+        classic.insert_many([(k, k) for k in range(101, 161)])
+        assert classic.leaf_fissions == 0
+
+
+@pytest.mark.parametrize("backend", BOTH_BACKENDS)
+@pytest.mark.parametrize("layout", ["classic", "gapped"])
+def test_space_stats_physical_identity(backend, layout):
+    with kernels.use_backend(backend):
+        tree = _tree(layout, leaf_capacity=8)
+        tree.insert_many([(k, k) for k in range(500)])
+        tree.delete(3)
+        stats = tree.space_stats()
+        assert stats["physical_slots"] - stats["gap_slots"] == (
+            stats["logical_entries"]
+        )
+        assert stats["logical_entries"] == len(tree)
+        if layout == "gapped":
+            assert stats["physical_slots"] == tree.leaf_count * (8 + 1)
+            assert 0.0 < stats["physical_fill"] <= 1.0
+
+
+@pytest.mark.parametrize("backend", BOTH_BACKENDS)
+def test_checkpoint_round_trip_preserves_gapped_layout(backend):
+    with kernels.use_backend(backend):
+        tree = _tree("gapped", leaf_capacity=6)
+        tree.insert_many([(k, f"v{k}") for k in range(300)])
+        tree.insert(SENTINEL, "weird")  # demoted leaf must survive too
+        restored = deserialize_btree(serialize_btree(tree))
+        assert restored.config.node_layout == "gapped"
+        assert isinstance(restored._head_leaf, GappedLeaf)
+        assert restored._root.is_leaf or isinstance(restored._root, GappedInternal)
+        assert list(restored.iter_items()) == list(tree.iter_items())
+        assert len(restored) == len(tree)
+        assert (restored.min_key, restored.max_key) == (tree.min_key, tree.max_key)
+        assert restored.get(SENTINEL) == "weird"
+        restored.check_invariants()
+        restored.insert(9999, "post")
+        assert restored.get(9999) == "post"
+
+
+@pytest.mark.parametrize("backend", BOTH_BACKENDS)
+def test_coalesced_probe_cache_invalidation(backend):
+    """get_many's leaf-column cache never serves stale answers."""
+    with kernels.use_backend(backend):
+        tree = _tree("gapped", leaf_capacity=8)
+        tree.insert_many([(k, k) for k in range(0, 400, 2)])
+        assert tree.get_many([100, 101]) == [100, None]  # builds the cache
+        tree.insert(101, "fresh")
+        assert tree.get_many([100, 101]) == [100, "fresh"]
+        tree.delete(100)
+        assert tree.get_many([100, 101]) == [None, "fresh"]
+        tree.insert_many([(k, "bulk") for k in range(401, 430, 2)])
+        assert tree.get_many([401, 429]) == ["bulk", "bulk"]
+        tree.bulk_load_append([(1000, "tail")])
+        assert tree.get_many([1000]) == ["tail"]
+
+
+def test_profiler_classifies_gapped_modules():
+    """Sampling profiles must attribute the new hot modules to layers."""
+    assert layer_for_module("repro.btree.btree") == "btree"
+    assert layer_for_module("repro.btree.node") == "btree"
+    assert layer_for_module("repro.kernels.python_kernels") == "kernels"
+    assert layer_for_module("repro.kernels.numpy_kernels") == "kernels"
