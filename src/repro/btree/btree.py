@@ -161,6 +161,21 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _invalidate_columns(self) -> None:
+        """Drop the coalesced-probe column cache.
+
+        Every mutating entry point (insert, insert_many, bulk_load_append,
+        delete — including the structural work they trigger: splits,
+        fissions, merge-runs, lazy-delete compaction) must call this before
+        touching any leaf store; ``_get_many_gapped`` snapshots the leaf
+        chain into one sorted column and a stale snapshot silently serves
+        pre-mutation reads. Checkpoint loads are safe without it only
+        because ``deserialize_btree`` builds a fresh tree (cache starts
+        ``None``); anything that ever mutates an existing tree in place
+        must route through here.
+        """
+        self._column_cache = None
+
     def _touch(self, node, dirty: bool = False) -> None:
         self.meter.charge("node_access")
         if self.pool is not None:
@@ -276,7 +291,7 @@ class BPlusTree:
     # ------------------------------------------------------------------
     def insert(self, key: int, value: object) -> bool:
         """Insert or update; returns True if a new entry was created."""
-        self._column_cache = None
+        self._invalidate_columns()
         if self._gapped:
             return self._insert_gapped(key, value)
         self._ensure_root()
@@ -359,7 +374,7 @@ class BPlusTree:
         """
         if not items:
             return 0
-        self._column_cache = None
+        self._invalidate_columns()
         batch = kernels.sort_items_by_key(items)
         first_key = batch[0][0]
         if self._gapped:
@@ -696,7 +711,7 @@ class BPlusTree:
             raise BulkLoadError(
                 f"bulk batch starts at {items[0][0]} but tree max is {self._max_key}"
             )
-        self._column_cache = None
+        self._invalidate_columns()
         self._ensure_root()
         fill = max(1, int(self.config.leaf_capacity * self.config.bulk_fill_factor))
         self.meter.charge("bulk_entry", len(items))
@@ -1130,7 +1145,7 @@ class BPlusTree:
         """
         if self._root is None:
             return False
-        self._column_cache = None
+        self._invalidate_columns()
         leaf, _ = self._descend_to_leaf(key, dirty=True)
         if self._gapped:
             idx = leaf.search_left(key)

@@ -35,6 +35,21 @@ Commands
 ``recover``
     Rebuild an index from a checkpoint file plus a write-ahead-log tail
     (crash restart), verify its invariants, and print the recovery report.
+    With ``--sharded`` the argument is a sharded root directory instead:
+    every shard is recovered from its own checkpoint + WAL and the
+    per-shard reports are printed.
+``serve``
+    Boot the sharded asyncio index server (``repro.net``): N range
+    partitions under one root, each with its own WAL + checkpoints,
+    behind the length-prefixed binary protocol with group-commit write
+    acknowledgement.
+``bench-serve``
+    Closed/open-loop load generator against a self-hosted (or remote)
+    sharded server: N concurrent client connections, latency
+    percentiles, ``serve_ops_per_s`` throughput gauge, scatter-gather
+    results verified against a single-node oracle. With ``--json`` it
+    writes the ``BENCH_serve.json`` telemetry artifact the CI
+    serve-smoke perf gate tracks.
 ``stats``
     Run an instrumented workload (or load a ``--from`` artifact) and render
     the metrics registry in Prometheus text exposition format.
@@ -246,6 +261,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rec.add_argument(
         "--slot-size", type=int, default=None, help="checkpoint slot size (default 4096)"
+    )
+    rec.add_argument(
+        "--sharded",
+        action="store_true",
+        help="treat the argument as a sharded root directory (repro.net layout)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="boot the sharded asyncio index server"
+    )
+    serve.add_argument("root", help="sharded root directory (created if absent)")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7437)
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument(
+        "--fsync",
+        choices=["always", "batch", "never"],
+        default="batch",
+        help="WAL fsync policy; 'batch' enables group-commit acks (default)",
+    )
+    serve.add_argument(
+        "--split-threshold",
+        type=int,
+        default=50_000,
+        help="live entries per shard before it splits (0 disables)",
+    )
+    serve.add_argument(
+        "--key-range",
+        type=int,
+        nargs=2,
+        default=(0, 1 << 20),
+        metavar=("LO", "HI"),
+        help="expected key range seeding the initial shard boundaries",
+    )
+
+    bserve = sub.add_parser(
+        "bench-serve",
+        help="load-generate against the sharded server (perf-gate numbers)",
+    )
+    bserve.add_argument("--clients", type=int, default=4)
+    bserve.add_argument("--ops", type=int, default=1000, help="ops per client")
+    bserve.add_argument(
+        "--arrival", choices=["closed", "open"], default="closed"
+    )
+    bserve.add_argument(
+        "--open-rate", type=float, default=2000.0, help="per-client ops/s (open loop)"
+    )
+    bserve.add_argument("--shards", type=int, default=4)
+    bserve.add_argument(
+        "--split-threshold", type=int, default=0, help="0 = no splits mid-bench"
+    )
+    bserve.add_argument(
+        "--fsync", choices=["always", "batch", "never"], default="batch"
+    )
+    bserve.add_argument("--key-space", type=int, default=50_000)
+    bserve.add_argument("--seed", type=int, default=1234)
+    bserve.add_argument(
+        "--host",
+        type=str,
+        default=None,
+        help="target an already-running server instead of self-hosting",
+    )
+    bserve.add_argument("--port", type=int, default=None)
+    bserve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the single-node oracle comparison",
+    )
+    bserve.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_serve.json telemetry artifact",
     )
 
     stats = sub.add_parser(
@@ -581,6 +670,8 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.storage.pagefile import DEFAULT_SLOT_SIZE, CheckpointStore
 
+    if args.sharded:
+        return _recover_sharded_root(args.checkpoint)
     slot_size = args.slot_size if args.slot_size is not None else DEFAULT_SLOT_SIZE
     store = CheckpointStore(args.checkpoint, slot_size=slot_size)
     try:
@@ -592,6 +683,144 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     if check is not None:
         check()
     print(report.describe())
+    return 0
+
+
+def _recover_sharded_root(root: str) -> int:
+    from repro.errors import ReproError
+    from repro.net.sharded import recover_sharded
+
+    try:
+        index, reports = recover_sharded(root)
+    except ReproError as exc:
+        print(f"sharded recovery failed: {exc}", file=sys.stderr)
+        return 1
+    try:
+        total = 0
+        for shard_id in sorted(reports):
+            report = reports[shard_id]
+            print(f"--- shard {shard_id} ---")
+            print(report.describe())
+        for shard in index._shards:
+            check = getattr(shard.index.backend, "check_invariants", None)
+            if check is not None:
+                check()
+            total += index._shard_size(shard)
+        print(f"recovered {len(reports)} shards, {total} live entries")
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.core.config import SWAREConfig
+    from repro.errors import ReproError
+    from repro.net.server import IndexServer
+    from repro.net.sharded import (
+        MANIFEST_NAME,
+        ShardedConfig,
+        ShardedSortednessAwareIndex,
+        recover_sharded,
+    )
+
+    try:
+        if os.path.exists(os.path.join(args.root, MANIFEST_NAME)):
+            index, reports = recover_sharded(args.root)
+            print(f"recovered {len(reports)} shards from {args.root}", file=sys.stderr)
+        else:
+            index = ShardedSortednessAwareIndex(
+                args.root,
+                config=ShardedConfig(
+                    n_shards=args.shards,
+                    split_threshold=args.split_threshold,
+                    fsync_policy=args.fsync,
+                    initial_key_range=tuple(args.key_range),
+                    index_config=SWAREConfig(),
+                ),
+            )
+    except ReproError as exc:
+        print(f"cannot open {args.root}: {exc}", file=sys.stderr)
+        return 1
+
+    server = IndexServer(index, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving {index.n_shards} shards on {server.host}:{server.port} "
+            f"(fsync={index.config.fsync_policy})",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.net.loadgen import LoadGenConfig, run_load
+    from repro.obs import Observability, observe
+
+    cfg = LoadGenConfig(
+        clients=args.clients,
+        ops_per_client=args.ops,
+        arrival=args.arrival,
+        open_rate=args.open_rate,
+        key_space=args.key_space,
+        seed=args.seed,
+        shards=args.shards,
+        split_threshold=args.split_threshold,
+        fsync_policy=args.fsync,
+        verify=not args.no_verify,
+    )
+    obs = Observability(trace=True)
+    with observe(obs):
+        summary = run_load(cfg, obs=obs, host=args.host, port=args.port)
+
+    print(
+        f"{summary['arrival']} loop: {summary['clients']} clients x "
+        f"{args.ops} ops -> {summary['total_ops']} ops in "
+        f"{summary['wall_s']:.2f}s = {summary['ops_per_s']:.0f} ops/s "
+        f"({summary['shards']} shards, {summary['splits']} splits, "
+        f"fsync={summary['fsync_policy']})"
+    )
+    for kind, stats in sorted(summary["latency"].items()):
+        print(
+            f"  {kind:9s} n={stats['n']:6.0f}  p50={stats['p50_ns'] / 1e6:7.2f}ms  "
+            f"p95={stats['p95_ns'] / 1e6:7.2f}ms  p99={stats['p99_ns'] / 1e6:7.2f}ms"
+        )
+    if cfg.verify:
+        print(f"oracle: {summary['oracle_checks']} scatter-gather checks passed")
+
+    if args.json is not None:
+        from repro.bench.telemetry import (
+            build_bench_artifact,
+            save_bench_artifact,
+            validate_bench_artifact,
+        )
+
+        doc = build_bench_artifact("serve", obs, extra={"summary": summary})
+        problems = validate_bench_artifact(doc)
+        if problems:
+            for problem in problems:
+                print(f"artifact invalid: {problem}", file=sys.stderr)
+            return 1
+        path = save_bench_artifact(doc, args.json)
+        with open(path) as handle:
+            json.load(handle)  # sanity: what we wrote parses
+        print(f"wrote {path}")
     return 0
 
 
@@ -794,6 +1023,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-nodes": _cmd_bench_nodes,
         "perf-gate": _cmd_perf_gate,
         "recover": _cmd_recover,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "doctor": _cmd_doctor,

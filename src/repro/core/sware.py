@@ -273,13 +273,24 @@ class SortednessAwareIndex:
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
+    def _maybe_query_sort(self) -> None:
+        """Fire the query-driven sort trigger (§IV-C) if the tail warrants.
+
+        This is the *only* place the trigger fires and the ``sware_ops``
+        sort charge is metered — every read entry point (single or batch)
+        routes through here exactly once per call, so batch accounting
+        matches a sequential loop (the loop's per-op re-check is a constant
+        False after the first trigger empties the tail).
+        """
+        if self.buffer.should_query_sort():
+            with self.meter.bucket("sware_ops"):
+                self.buffer.query_sort()
+
     def get(self, key: int) -> Optional[object]:
         """Point lookup along the optimized read path (Fig. 6)."""
         self.stats.lookups += 1
         with self.obs.span("sware.get", key=key):
-            if self.buffer.should_query_sort():
-                with self.meter.bucket("sware_ops"):
-                    self.buffer.query_sort()
+            self._maybe_query_sort()
             with self.meter.bucket("buffer_search"):
                 state, value = self.buffer.lookup(key)
             if state == HIT:
@@ -306,12 +317,15 @@ class SortednessAwareIndex:
         ``get_many`` (one leaf descent per run of keys sharing a leaf on the
         B+-tree) when it has one.
         """
+        if not keys:
+            # A zero-key batch must be a no-op: a sequential loop of zero
+            # gets never evaluates the trigger, so firing it here would
+            # mutate the buffer and charge sware_ops with no reads at all.
+            return []
         n = len(keys)
         self.stats.lookups += n
         with self.obs.span("sware.get_many", n=n):
-            if self.buffer.should_query_sort():
-                with self.meter.bucket("sware_ops"):
-                    self.buffer.query_sort()
+            self._maybe_query_sort()
             results: List[Optional[object]] = [None] * n
             miss_positions: List[int] = []
             miss_keys: List[int] = []
@@ -359,24 +373,29 @@ class SortednessAwareIndex:
         """Batch range queries: one result list per ``(lo, hi)`` pair.
 
         The query-sort trigger fires at most once for the whole batch (reads
-        leave the tail untouched), then each range follows the sequential
-        :meth:`range_query` path.
+        leave the tail untouched, and an empty batch fires nothing), then
+        each range follows the sequential :meth:`range_query` path minus its
+        already-spent trigger check.
         """
-        if self.buffer.should_query_sort():
-            with self.meter.bucket("sware_ops"):
-                self.buffer.query_sort()
-        return [self.range_query(lo, hi) for lo, hi in ranges]
+        if not ranges:
+            return []
+        self._maybe_query_sort()
+        out: List[List[Tuple[int, object]]] = []
+        for lo, hi in ranges:
+            self.stats.range_queries += 1
+            with self.obs.span("sware.range_query", lo=lo, hi=hi):
+                out.append(self._range_query_inner(lo, hi))
+        return out
 
     def range_query(self, lo: int, hi: int) -> List[Tuple[int, object]]:
         """All live (key, value) in [lo, hi]; buffered versions win."""
         self.stats.range_queries += 1
         with self.obs.span("sware.range_query", lo=lo, hi=hi):
+            self._maybe_query_sort()
             return self._range_query_inner(lo, hi)
 
     def _range_query_inner(self, lo: int, hi: int) -> List[Tuple[int, object]]:
-        if self.buffer.should_query_sort():
-            with self.meter.bucket("sware_ops"):
-                self.buffer.query_sort()
+        """Range scan body; the caller owns the query-sort trigger."""
         with self.meter.bucket("buffer_search"):
             buffered = self.buffer.range_entries(lo, hi)
         resolved: dict = {}
@@ -402,10 +421,23 @@ class SortednessAwareIndex:
     # introspection
     # ------------------------------------------------------------------
     def items(self) -> List[Tuple[int, object]]:
-        """All live entries (test/debug helper; full range query)."""
+        """All live entries (test/debug helper; full range query).
+
+        Scan bounds are the union of the buffer zonemap and the backend
+        watermarks. Both are *supersets* of the live key range by contract:
+        the zonemap resets only on a full drain and otherwise covers every
+        buffered entry, and backend ``min_key``/``max_key`` never shrink on
+        deletes (see ``BPlusTree.delete``). A stale bound therefore only
+        widens the scan — it can never clip a live key. Pinned by
+        ``tests/test_readpath_bugfixes.py`` against flush + delete cycles.
+        """
         lows = [v for v in (self.buffer.zonemap.min_key, self.backend.min_key) if v is not None]
         highs = [v for v in (self.buffer.zonemap.max_key, self.backend.max_key) if v is not None]
-        if not lows:
+        if not lows or not highs:
+            # Bounds come in min/max pairs, so one side empty means the
+            # other is too (no buffered entries and no backend watermark) —
+            # guarded explicitly so a half-set source fails closed instead
+            # of raising on max([]).
             return []
         return self.range_query(min(lows), max(highs))
 

@@ -261,6 +261,14 @@ class LSMTree:
             raise BulkLoadError(
                 f"bulk batch starts at {items[0][0]} but tree max is {self._max_key}"
             )
+        if self._memtable and any(key in self._memtable for key, _ in items):
+            # The memtable can hold tombstones for keys beyond max_key
+            # (deletes never raise the watermark). A bulk run bypasses the
+            # memtable, so installing it would leave an older memtable entry
+            # shadowing the newer run version on the point-lookup path, which
+            # trusts the memtable as strictly newest. Flush first to keep
+            # that invariant.
+            self._flush_memtable()
         entries: List[Entry] = []
         for key, value in items:
             self._seq += 1

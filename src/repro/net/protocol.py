@@ -1,0 +1,243 @@
+"""The length-prefixed binary wire protocol of the serving layer.
+
+One frame per request/response, little-endian, mirroring the WAL's framing
+discipline (:mod:`repro.storage.wal`) so a torn or corrupt frame is
+detected structurally rather than by deserialization accident::
+
+    magic       u16   0x5752 ("RW": repro wire)
+    opcode      u8    request: OP_*; response: RESP_OK / RESP_ERR
+    flags       u8    reserved
+    request_id  u32   echoed verbatim in the response (pipelining tag)
+    length      u32   payload length in bytes
+    crc         u32   CRC32 over (opcode, flags, request_id, length, payload)
+    payload     ...   opcode-specific, see below
+
+Payload encodings (keys are signed 64-bit ints, values arbitrary pickled
+objects — the same representation the WAL and checkpoints use):
+
+========== ============================================================
+opcode      payload
+========== ============================================================
+PUT         key s64 + pickle(value)
+GET         key s64
+DEL         key s64
+RANGE       lo s64 + hi s64
+PUT_MANY    count u32 + count * (key s64 + u32-length-prefixed pickle)
+GET_MANY    count u32 + count * key s64
+STATS       empty
+RESP_OK     pickle(result) — op-specific result object
+RESP_ERR    pickle(message string)
+========== ============================================================
+
+``decode_frame`` raises :class:`ProtocolError` on any structural problem
+(bad magic, unknown opcode, CRC mismatch, short payload); the server turns
+that into a connection close, never into a half-interpreted request.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+WIRE_MAGIC = 0x5752
+
+OP_PUT = 1
+OP_GET = 2
+OP_DEL = 3
+OP_RANGE = 4
+OP_PUT_MANY = 5
+OP_GET_MANY = 6
+OP_STATS = 7
+
+RESP_OK = 0x80
+RESP_ERR = 0x81
+
+REQUEST_OPS = (OP_PUT, OP_GET, OP_DEL, OP_RANGE, OP_PUT_MANY, OP_GET_MANY, OP_STATS)
+#: Opcodes that mutate the index (their acks ride the group-commit path).
+MUTATING_OPS = (OP_PUT, OP_DEL, OP_PUT_MANY)
+
+HEADER = struct.Struct("<HBBIII")  # magic, opcode, flags, request_id, length, crc
+_KEY = struct.Struct("<q")
+_PAIR = struct.Struct("<qq")
+_COUNT = struct.Struct("<I")
+
+#: Refuse absurd frames before allocating for them (16 MiB of payload is
+#: far beyond any batch the load generator or CLI produces).
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """A structurally invalid frame (bad magic/opcode/CRC/payload shape)."""
+
+
+def _crc(opcode: int, flags: int, request_id: int, payload: bytes) -> int:
+    head = struct.pack("<BBII", opcode, flags, request_id, len(payload))
+    return zlib.crc32(payload, zlib.crc32(head)) & 0xFFFFFFFF
+
+
+def encode_frame(opcode: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One wire frame, ready to write."""
+    crc = _crc(opcode, 0, request_id, payload)
+    return HEADER.pack(WIRE_MAGIC, opcode, 0, request_id, len(payload), crc) + payload
+
+
+def decode_header(raw: bytes) -> Tuple[int, int, int, int]:
+    """Validated (opcode, request_id, length, crc) from header bytes."""
+    if len(raw) < HEADER.size:
+        raise ProtocolError("short frame header")
+    magic, opcode, flags, request_id, length, crc = HEADER.unpack(raw)
+    if magic != WIRE_MAGIC:
+        raise ProtocolError(f"bad frame magic 0x{magic:04X}")
+    if opcode not in REQUEST_OPS and opcode not in (RESP_OK, RESP_ERR):
+        raise ProtocolError(f"unknown opcode {opcode}")
+    if flags != 0:
+        raise ProtocolError(f"unsupported flags 0x{flags:02X}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"frame payload of {length} bytes exceeds the cap")
+    return opcode, request_id, length, crc
+
+
+def check_payload(opcode: int, request_id: int, payload: bytes, crc: int) -> None:
+    if _crc(opcode, 0, request_id, payload) != crc:
+        raise ProtocolError("frame checksum mismatch")
+
+
+# ----------------------------------------------------------------------
+# request payload encode/decode
+# ----------------------------------------------------------------------
+def encode_put(key: int, value: object) -> bytes:
+    return _KEY.pack(key) + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_put(payload: bytes) -> Tuple[int, object]:
+    if len(payload) <= _KEY.size:
+        raise ProtocolError("PUT payload too short")
+    (key,) = _KEY.unpack_from(payload)
+    try:
+        value = pickle.loads(payload[_KEY.size :])
+    except Exception as exc:  # noqa: BLE001 - corrupt pickle = corrupt frame
+        raise ProtocolError(f"PUT value undecodable: {exc!r}") from exc
+    return key, value
+
+
+def encode_key(key: int) -> bytes:
+    return _KEY.pack(key)
+
+
+def decode_key(payload: bytes) -> int:
+    if len(payload) != _KEY.size:
+        raise ProtocolError("key payload must be exactly 8 bytes")
+    return _KEY.unpack(payload)[0]
+
+
+def encode_range(lo: int, hi: int) -> bytes:
+    return _PAIR.pack(lo, hi)
+
+
+def decode_range(payload: bytes) -> Tuple[int, int]:
+    if len(payload) != _PAIR.size:
+        raise ProtocolError("RANGE payload must be exactly 16 bytes")
+    lo, hi = _PAIR.unpack(payload)
+    return lo, hi
+
+
+def encode_put_many(items: Sequence[Tuple[int, object]]) -> bytes:
+    parts = [_COUNT.pack(len(items))]
+    for key, value in items:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        parts.append(_KEY.pack(key))
+        parts.append(_COUNT.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def decode_put_many(payload: bytes) -> List[Tuple[int, object]]:
+    if len(payload) < _COUNT.size:
+        raise ProtocolError("PUT_MANY payload too short")
+    (count,) = _COUNT.unpack_from(payload)
+    items: List[Tuple[int, object]] = []
+    offset = _COUNT.size
+    for _ in range(count):
+        if len(payload) < offset + _KEY.size + _COUNT.size:
+            raise ProtocolError("PUT_MANY item truncated")
+        (key,) = _KEY.unpack_from(payload, offset)
+        offset += _KEY.size
+        (blob_len,) = _COUNT.unpack_from(payload, offset)
+        offset += _COUNT.size
+        blob = payload[offset : offset + blob_len]
+        if len(blob) < blob_len:
+            raise ProtocolError("PUT_MANY value truncated")
+        offset += blob_len
+        try:
+            items.append((key, pickle.loads(blob)))
+        except Exception as exc:  # noqa: BLE001
+            raise ProtocolError(f"PUT_MANY value undecodable: {exc!r}") from exc
+    if offset != len(payload):
+        raise ProtocolError("PUT_MANY payload has trailing bytes")
+    return items
+
+
+def encode_get_many(keys: Sequence[int]) -> bytes:
+    return _COUNT.pack(len(keys)) + b"".join(_KEY.pack(key) for key in keys)
+
+
+def decode_get_many(payload: bytes) -> List[int]:
+    if len(payload) < _COUNT.size:
+        raise ProtocolError("GET_MANY payload too short")
+    (count,) = _COUNT.unpack_from(payload)
+    if len(payload) != _COUNT.size + count * _KEY.size:
+        raise ProtocolError("GET_MANY payload length mismatch")
+    return [
+        _KEY.unpack_from(payload, _COUNT.size + i * _KEY.size)[0] for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# response payloads
+# ----------------------------------------------------------------------
+def encode_result(result: object) -> bytes:
+    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_result(payload: bytes) -> object:
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001
+        raise ProtocolError(f"response undecodable: {exc!r}") from exc
+
+
+def encode_error(message: str) -> bytes:
+    return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_error(payload: bytes) -> str:
+    result = decode_result(payload)
+    return result if isinstance(result, str) else repr(result)
+
+
+async def read_frame(reader) -> Optional[Tuple[int, int, bytes]]:
+    """Read one validated frame from an ``asyncio.StreamReader``.
+
+    Returns ``(opcode, request_id, payload)``, or ``None`` on a clean EOF
+    at a frame boundary. A torn frame (EOF mid-frame) or a structurally
+    invalid one raises :class:`ProtocolError`.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    opcode, request_id, length, crc = decode_header(header)
+    try:
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-payload") from exc
+    check_payload(opcode, request_id, payload, crc)
+    return opcode, request_id, payload

@@ -1,0 +1,212 @@
+"""The asyncio front door over a :class:`ShardedSortednessAwareIndex`.
+
+One :class:`IndexServer` owns the sharded index and serves the binary
+protocol of :mod:`repro.net.protocol` over TCP. Connections are handled
+concurrently; within a connection requests are *pipelined* — the client
+may send many frames without waiting, and responses are matched back by
+``request_id``, not by order (write acks routinely overtake later reads
+under group commit).
+
+**Group commit / ack-after-fsync.** Mutating opcodes (``MUTATING_OPS``)
+are applied to the index immediately, but under ``fsync_policy="batch"``
+their OK responses are *parked* on a commit queue instead of being
+written back. A background commit loop wakes every ``commit_interval``
+seconds (or as soon as a mutation arrives), fsyncs every dirty shard WAL
+via :meth:`ShardedSortednessAwareIndex.commit`, and only then releases
+the parked acks. The client therefore never observes an acknowledgement
+for a write that a crash could lose — the invariant the crash harness
+(``tests/test_sharded_crash.py``) kills the server to check. Under
+``fsync_policy="always"`` the WAL appends sync inline and acks are
+written immediately; under ``"never"`` durability is explicitly waived
+and acks are also immediate.
+
+Protocol violations (bad magic, CRC mismatch, torn frame) close the
+connection — a structurally corrupt stream cannot be re-synchronized.
+Index-level errors (and malformed payloads that decode but fail) are
+returned as ``RESP_ERR`` frames and the connection lives on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple
+
+from repro.net import protocol as p
+from repro.net.sharded import ShardedSortednessAwareIndex
+from repro.obs import Observability, current_obs
+from repro.storage.wal import FSYNC_BATCH
+
+
+class IndexServer:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        index: ShardedSortednessAwareIndex,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        commit_interval: float = 0.002,
+        obs: Optional[Observability] = None,
+    ):
+        self.index = index
+        self.host = host
+        self.port = port
+        self.commit_interval = commit_interval
+        self.obs = obs if obs is not None else current_obs()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._commit_task: Optional[asyncio.Task] = None
+        #: Parked (writer, ack frame) pairs awaiting the next commit.
+        self._parked: List[Tuple[asyncio.StreamWriter, bytes]] = []
+        self._commit_wake: Optional[asyncio.Event] = None
+        self._group_commit = index.config.fsync_policy == FSYNC_BATCH
+        self.requests = 0
+        self.errors = 0
+        self.commits = 0
+        self.connections = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._commit_wake = asyncio.Event()
+        self._server = await asyncio.start_server(self._serve_conn, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self._group_commit:
+            self._commit_task = asyncio.create_task(self._commit_loop())
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._commit_task is not None:
+            self._commit_task.cancel()
+            try:
+                await self._commit_task
+            except asyncio.CancelledError:
+                pass
+            self._commit_task = None
+        await self._release_parked()  # final commit for anything in flight
+        self.index.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # group commit
+    # ------------------------------------------------------------------
+    async def _commit_loop(self) -> None:
+        while True:
+            await self._commit_wake.wait()
+            self._commit_wake.clear()
+            # Let a burst of pipelined mutations pile onto this cycle so
+            # one fsync covers them all.
+            await asyncio.sleep(self.commit_interval)
+            await self._release_parked()
+
+    async def _release_parked(self) -> None:
+        if not self._parked and not self.index._dirty:
+            return
+        parked, self._parked = self._parked, []
+        with self.obs.span("serve.commit", acks=len(parked)):
+            self.index.commit()  # fsync every dirty shard WAL
+        self.commits += 1
+        for writer, frame in parked:
+            if not writer.is_closing():
+                writer.write(frame)
+        for writer, _frame in parked:
+            if not writer.is_closing():
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass  # client went away; its acks are moot
+
+    def _ack(self, writer: asyncio.StreamWriter, opcode: int, frame: bytes) -> None:
+        """Write a response now, or park it until the covering commit."""
+        if self._group_commit and opcode in p.MUTATING_OPS:
+            self._parked.append((writer, frame))
+            self._commit_wake.set()
+        else:
+            writer.write(frame)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _serve_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    frame = await p.read_frame(reader)
+                except p.ProtocolError:
+                    self.errors += 1
+                    break  # corrupt stream: cannot resync, drop the connection
+                if frame is None:
+                    break  # clean EOF
+                opcode, request_id, payload = frame
+                self.requests += 1
+                try:
+                    result = self._dispatch(opcode, payload)
+                except p.ProtocolError:
+                    self.errors += 1
+                    break
+                except Exception as exc:  # noqa: BLE001 - becomes a wire error
+                    self.errors += 1
+                    writer.write(
+                        p.encode_frame(p.RESP_ERR, request_id, p.encode_error(repr(exc)))
+                    )
+                    await writer.drain()
+                    continue
+                self._ack(
+                    writer,
+                    opcode,
+                    p.encode_frame(p.RESP_OK, request_id, p.encode_result(result)),
+                )
+                if reader.at_eof() or not self._group_commit:
+                    await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            if not writer.is_closing():
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    def _dispatch(self, opcode: int, payload: bytes) -> object:
+        index = self.index
+        if opcode == p.OP_PUT:
+            key, value = p.decode_put(payload)
+            index.put(key, value)
+            return None
+        if opcode == p.OP_GET:
+            return index.get(p.decode_key(payload))
+        if opcode == p.OP_DEL:
+            index.delete(p.decode_key(payload))
+            return None
+        if opcode == p.OP_RANGE:
+            lo, hi = p.decode_range(payload)
+            return index.range_query(lo, hi)
+        if opcode == p.OP_PUT_MANY:
+            index.put_many(p.decode_put_many(payload))
+            return None
+        if opcode == p.OP_GET_MANY:
+            return index.get_many(p.decode_get_many(payload))
+        if opcode == p.OP_STATS:
+            stats = index.describe()
+            stats["server"] = {
+                "requests": self.requests,
+                "errors": self.errors,
+                "commits": self.commits,
+                "connections": self.connections,
+                "group_commit": self._group_commit,
+            }
+            stats["shard_map"] = index.shard_map()
+            return stats
+        raise p.ProtocolError(f"opcode {opcode} is not a request")

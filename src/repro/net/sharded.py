@@ -1,0 +1,579 @@
+"""Range-partitioned sharding over :class:`SortednessAwareIndex`.
+
+:class:`ShardedSortednessAwareIndex` owns N shards under one root
+directory. Each shard is a full single-node durability stack — SWARE
+index + its own write-ahead log + its own epoch-checkpoint store::
+
+    root/
+      MANIFEST.json            # shard map: [lower_bound, dir, config] rows
+      shard-0000/
+        wal.log
+        checkpoint.db
+      shard-0001/
+        ...
+
+**Routing.** The shard map is a sorted list of lower bounds; shard *i*
+owns keys in ``[lower_i, lower_{i+1})`` (the first shard's lower bound is
+-inf, the last shard extends to +inf). Point ops bisect the map; range
+queries scatter to every shard whose assigned range overlaps, *clamping*
+each per-shard scan to the shard's assigned range. The clamp is the
+scatter-gather merge rule: assigned ranges are disjoint, so concatenating
+the per-shard results in shard order yields a globally sorted result, and
+buffered-version-wins semantics hold because each per-shard scan is the
+single-node SWARE range path. Stale out-of-range entries (left behind by
+a shard split that crashed before cleanup) are unreachable by
+construction — routing never sends a moved key back to its old shard and
+the clamp keeps it out of scans.
+
+Shard *configurations may diverge* (the Extend-dist direction: replicas
+tuned per their local workload): every shard row carries its own
+``SWAREConfig``, inherited on split but overridable per shard.
+
+**Splits.** When a shard's live size crosses ``split_threshold``, it
+splits at its median live key. Ordering makes the split crash-safe at
+every step (the seeded crash harness in ``tests/test_sharded_crash.py``
+walks the I/O boundaries):
+
+1. flush the donor so its live set is entirely in the tree;
+2. build the new shard (dir, WAL, index), move the upper half in through
+   its WAL-logged write path, sync + checkpoint it;
+3. commit the new manifest atomically (tmp + ``os.replace`` + dir fsync)
+   — the new shard now owns its range;
+4. only then delete the moved keys from the donor and checkpoint it.
+
+A crash before (3) leaves the old manifest: the donor still owns and
+holds everything. A crash after (3) leaves the moved keys owned by the
+new shard; the donor's stale copies are unreachable (see the clamp).
+
+**Group commit.** Mutations mark their shard dirty; :meth:`commit` fsyncs
+every dirty WAL (a no-op under ``fsync_policy="always"``, where appends
+sync inline). The server acks writes only after the covering commit — the
+ack-after-fsync invariant the crash harness pins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from bisect import bisect_right
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SWAREConfig
+from repro.core.sware import SortednessAwareIndex
+from repro.errors import ReproError
+from repro.obs import NULL_OBS, Observability, current_obs
+from repro.storage.pagefile import CheckpointStore, RecoveryReport
+from repro.storage.wal import FSYNC_ALWAYS, FSYNC_POLICIES, WriteAheadLog, fsync_file
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+WAL_NAME = "wal.log"
+CHECKPOINT_NAME = "checkpoint.db"
+
+
+class ShardedIndexError(ReproError):
+    """Structural problems with a sharded root (bad manifest, bad config)."""
+
+
+@dataclass(frozen=True)
+class ShardedConfig:
+    """Layout and policy knobs for a sharded index.
+
+    ``initial_key_range`` seeds the boundaries of the initial shard map
+    (evenly spaced); routing still covers the full key space because the
+    edge shards extend to ±inf. ``split_threshold`` is the live-entry
+    count at which a shard splits (0 disables splitting).
+    """
+
+    n_shards: int = 4
+    split_threshold: int = 50_000
+    fsync_policy: str = FSYNC_ALWAYS
+    initial_key_range: Tuple[int, int] = (0, 1 << 20)
+    index_config: SWAREConfig = field(default_factory=SWAREConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ShardedIndexError("n_shards must be >= 1")
+        if self.split_threshold < 0:
+            raise ShardedIndexError("split_threshold must be >= 0")
+        if self.fsync_policy not in FSYNC_POLICIES:
+            raise ShardedIndexError(f"unknown fsync policy {self.fsync_policy!r}")
+        lo, hi = self.initial_key_range
+        if lo >= hi:
+            raise ShardedIndexError("initial_key_range must be (lo, hi) with lo < hi")
+
+
+class _Shard:
+    """One shard: its id, assigned lower bound, and durability stack."""
+
+    __slots__ = ("shard_id", "lower", "dir", "index", "wal", "store", "config")
+
+    def __init__(self, shard_id, lower, directory, index, wal, store, config):
+        self.shard_id = shard_id
+        self.lower = lower  # None = -inf (the left edge shard)
+        self.dir = directory
+        self.index = index
+        self.wal = wal
+        self.store = store
+        self.config = config
+
+
+def _shard_dir_name(shard_id: int) -> str:
+    return f"shard-{shard_id:04d}"
+
+
+def _fsync_dir(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class ShardedSortednessAwareIndex:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        root: str,
+        config: Optional[ShardedConfig] = None,
+        shard_configs: Optional[Sequence[SWAREConfig]] = None,
+        backend_factory: Optional[Callable] = None,
+        obs: Optional[Observability] = None,
+        opener: Callable = open,
+        replace: Optional[Callable] = None,
+        _recovered_shards: Optional[List[_Shard]] = None,
+        _next_shard_id: Optional[int] = None,
+    ):
+        self.root = root
+        self.config = config or ShardedConfig()
+        self.obs = obs if obs is not None else current_obs()
+        # I/O indirection for the crash-injection harness (FaultyEnv).
+        self._opener = opener
+        self._replace = replace if replace is not None else os.replace
+        if backend_factory is None:
+            from repro.btree.btree import BPlusTree
+
+            backend_factory = BPlusTree
+        self._backend_factory = backend_factory
+        self._dirty: set = set()  # shard ids with unsynced WAL appends
+        self.splits = 0
+        self.scatter_queries = 0
+        if _recovered_shards is not None:
+            self._shards = _recovered_shards
+            self._next_shard_id = (
+                _next_shard_id
+                if _next_shard_id is not None
+                else max(s.shard_id for s in _recovered_shards) + 1
+            )
+        else:
+            os.makedirs(root, exist_ok=True)
+            if os.path.exists(os.path.join(root, MANIFEST_NAME)):
+                raise ShardedIndexError(
+                    f"{root} already holds a sharded index; use recover_sharded()"
+                )
+            self._shards = self._create_initial_shards(shard_configs)
+            self._next_shard_id = len(self._shards)
+            self._write_manifest()
+        if self.obs is not NULL_OBS:
+            self.obs.register_collector("sharded", self._obs_snapshot)
+
+    # ------------------------------------------------------------------
+    # bootstrap / manifest
+    # ------------------------------------------------------------------
+    def _create_initial_shards(
+        self, shard_configs: Optional[Sequence[SWAREConfig]]
+    ) -> List[_Shard]:
+        n = self.config.n_shards
+        if shard_configs is not None and len(shard_configs) != n:
+            raise ShardedIndexError(
+                f"got {len(shard_configs)} shard configs for {n} shards"
+            )
+        lo, hi = self.config.initial_key_range
+        span = hi - lo
+        shards: List[_Shard] = []
+        for i in range(n):
+            # The left edge shard owns -inf; interior bounds split the
+            # configured range evenly.
+            lower = None if i == 0 else lo + (span * i) // n
+            cfg = (
+                shard_configs[i]
+                if shard_configs is not None
+                else self.config.index_config
+            )
+            shards.append(self._make_shard(i, lower, cfg))
+        return shards
+
+    def _make_shard(self, shard_id: int, lower: Optional[int], cfg: SWAREConfig) -> _Shard:
+        directory = os.path.join(self.root, _shard_dir_name(shard_id))
+        os.makedirs(directory, exist_ok=True)
+        wal = WriteAheadLog(
+            os.path.join(directory, WAL_NAME),
+            fsync_policy=self.config.fsync_policy,
+            opener=self._opener,
+            obs=NULL_OBS,  # per-shard WALs would collide on the collector name
+        )
+        store = CheckpointStore(
+            os.path.join(directory, CHECKPOINT_NAME),
+            opener=self._opener,
+            replace=self._replace,
+        )
+        index = SortednessAwareIndex(
+            self._backend_factory(), config=cfg, wal=wal, obs=NULL_OBS
+        )
+        return _Shard(shard_id, lower, directory, index, wal, store, cfg)
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _write_manifest(self) -> None:
+        doc = {
+            "version": MANIFEST_VERSION,
+            "next_shard_id": self._next_shard_id,
+            "fsync_policy": self.config.fsync_policy,
+            "split_threshold": self.config.split_threshold,
+            "shards": [
+                {
+                    "id": shard.shard_id,
+                    "lower": shard.lower,
+                    "dir": _shard_dir_name(shard.shard_id),
+                    "config": asdict(shard.config),
+                }
+                for shard in self._shards
+            ],
+        }
+        tmp = self.manifest_path + ".tmp"
+        with self._opener(tmp, "w") as fobj:
+            fobj.write(json.dumps(doc, indent=2, sort_keys=True))
+            fsync_file(fobj)
+        self._replace(tmp, self.manifest_path)
+        _fsync_dir(self.root)
+
+    def _obs_snapshot(self) -> dict:
+        return {
+            "n_shards": float(len(self._shards)),
+            "splits": float(self.splits),
+            "scatter_queries": float(self.scatter_queries),
+            "dirty_shards": float(len(self._dirty)),
+        }
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(self, key: int) -> _Shard:
+        # self._shards is sorted by lower bound with shards[0].lower = -inf:
+        # the owner is the right-most shard whose lower bound is <= key.
+        bounds = [s.lower for s in self._shards[1:]]
+        return self._shards[bisect_right(bounds, key)]
+
+    def _assigned_range(self, position: int) -> Tuple[Optional[int], Optional[int]]:
+        """(lower, upper) of the shard at ``position``; None = unbounded."""
+        lower = self._shards[position].lower
+        upper = (
+            self._shards[position + 1].lower
+            if position + 1 < len(self._shards)
+            else None
+        )
+        return lower, upper
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_map(self) -> List[Tuple[Optional[int], int]]:
+        """The routing table: (lower_bound, shard_id) in shard order."""
+        return [(s.lower, s.shard_id) for s in self._shards]
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: object) -> None:
+        shard = self._route(key)
+        shard.index.insert(key, value)
+        self._dirty.add(shard.shard_id)
+        self._maybe_split(shard)
+
+    def put_many(self, items: Sequence[Tuple[int, object]]) -> None:
+        """Route a batch by shard, preserving the arrival order per shard."""
+        if not items:
+            return
+        per_shard: Dict[int, List[Tuple[int, object]]] = {}
+        shards_by_id: Dict[int, _Shard] = {}
+        for key, value in items:
+            shard = self._route(key)
+            per_shard.setdefault(shard.shard_id, []).append((key, value))
+            shards_by_id[shard.shard_id] = shard
+        for shard_id, chunk in per_shard.items():
+            shard = shards_by_id[shard_id]
+            shard.index.put_many(chunk)
+            self._dirty.add(shard_id)
+        for shard_id in list(per_shard):
+            self._maybe_split(shards_by_id[shard_id])
+
+    def delete(self, key: int) -> None:
+        shard = self._route(key)
+        shard.index.delete(key)
+        self._dirty.add(shard.shard_id)
+
+    def commit(self) -> int:
+        """fsync every dirty shard WAL; returns the number synced.
+
+        The durability point for acknowledgements under
+        ``fsync_policy="batch"``: a write is ack-safe only after the commit
+        that covers it. Under ``"always"`` appends sync inline, so this
+        degenerates to clearing the dirty set.
+        """
+        dirty = self._dirty
+        if not dirty:
+            return 0
+        synced = 0
+        if self.config.fsync_policy != FSYNC_ALWAYS:
+            by_id = {s.shard_id: s for s in self._shards}
+            for shard_id in sorted(dirty):
+                shard = by_id.get(shard_id)
+                if shard is not None:
+                    shard.wal.sync()
+                    synced += 1
+        dirty.clear()
+        return synced
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> Optional[object]:
+        return self._route(key).index.get(key)
+
+    def get_many(self, keys: Sequence[int]) -> List[Optional[object]]:
+        """Scatter point lookups by shard, gather in input order."""
+        if not keys:
+            return []
+        per_shard: Dict[int, Tuple[_Shard, List[int], List[int]]] = {}
+        for position, key in enumerate(keys):
+            shard = self._route(key)
+            entry = per_shard.get(shard.shard_id)
+            if entry is None:
+                entry = (shard, [], [])
+                per_shard[shard.shard_id] = entry
+            entry[1].append(position)
+            entry[2].append(key)
+        results: List[Optional[object]] = [None] * len(keys)
+        for shard, positions, shard_keys in per_shard.values():
+            for position, value in zip(positions, shard.index.get_many(shard_keys)):
+                results[position] = value
+        return results
+
+    def range_query(self, lo: int, hi: int) -> List[Tuple[int, object]]:
+        """Scatter-gather range scan (see module docstring for merge rules)."""
+        if lo > hi:
+            return []
+        self.scatter_queries += 1
+        out: List[Tuple[int, object]] = []
+        with self.obs.span("sharded.range", lo=lo, hi=hi) as span:
+            hit_shards = 0
+            for position, shard in enumerate(self._shards):
+                lower, upper = self._assigned_range(position)
+                # Clamp to the assigned range: [max(lo, lower), min(hi, upper-1)].
+                shard_lo = lo if lower is None else max(lo, lower)
+                shard_hi = hi if upper is None else min(hi, upper - 1)
+                if shard_lo > shard_hi:
+                    continue
+                hit_shards += 1
+                with self.obs.span("sharded.shard_range", shard=shard.shard_id):
+                    # Disjoint assigned ranges + in-shard buffered-version-
+                    # wins => plain concatenation is the correct merge.
+                    out.extend(shard.index.range_query(shard_lo, shard_hi))
+            span.set(shards=hit_shards, results=len(out))
+        return out
+
+    def range_many(
+        self, ranges: Sequence[Tuple[int, int]]
+    ) -> List[List[Tuple[int, object]]]:
+        return [self.range_query(lo, hi) for lo, hi in ranges]
+
+    def items(self) -> List[Tuple[int, object]]:
+        out: List[Tuple[int, object]] = []
+        for shard in self._shards:
+            out.extend(shard.index.items())
+        return out
+
+    # ------------------------------------------------------------------
+    # splitting
+    # ------------------------------------------------------------------
+    def _shard_size(self, shard: _Shard) -> int:
+        backend = shard.index.backend
+        tree_entries = getattr(backend, "n_entries", None)
+        if tree_entries is None:
+            # Backends without an entry counter: count the merged live view
+            # (already includes the buffer).
+            return len(shard.index.items())
+        return tree_entries + len(shard.index.buffer)
+
+    def _maybe_split(self, shard: _Shard) -> None:
+        threshold = self.config.split_threshold
+        if threshold and self._shard_size(shard) >= threshold:
+            self._split_shard(shard)
+
+    def _split_shard(self, shard: _Shard) -> None:
+        """Split ``shard`` at its median live key (crash-safe; see module
+        docstring for the ordering argument)."""
+        shard.index.flush_all()
+        live = shard.index.items()
+        if len(live) < 2:
+            return  # a one-entry shard cannot split; wait for more data
+        median = live[len(live) // 2][0]
+        if median == live[0][0]:
+            return  # all live keys equal; no boundary to cut
+        moved = [(key, value) for key, value in live if key >= median]
+        with self.obs.span(
+            "sharded.split", shard=shard.shard_id, at=median, moved=len(moved)
+        ):
+            new_shard = self._make_shard(self._next_shard_id, median, shard.config)
+            self._next_shard_id += 1
+            new_shard.index.put_many(moved)
+            new_shard.wal.sync()
+            new_shard.index.checkpoint(new_shard.store)
+            # Commit the route change before touching the donor: from here
+            # on the moved keys are owned (and durably held) by new_shard.
+            position = next(
+                i for i, s in enumerate(self._shards) if s.shard_id == shard.shard_id
+            )
+            self._shards.insert(position + 1, new_shard)
+            self._write_manifest()
+            self.splits += 1
+            # Donor cleanup: the moved keys are unreachable already (routing
+            # and the range clamp both exclude them); deleting them reclaims
+            # space, and the checkpoint + WAL reset make the cleanup durable.
+            for key, _value in moved:
+                shard.index.delete(key)
+            shard.index.checkpoint(shard.store)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def checkpoint_all(self) -> Dict[int, int]:
+        """Checkpoint every shard (drain + save + WAL reset); pages per shard."""
+        pages: Dict[int, int] = {}
+        for shard in self._shards:
+            pages[shard.shard_id] = shard.index.checkpoint(shard.store)
+        self._dirty.clear()
+        return pages
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.wal.close()
+
+    def __enter__(self) -> "ShardedSortednessAwareIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "root": self.root,
+            "n_shards": len(self._shards),
+            "splits": self.splits,
+            "scatter_queries": self.scatter_queries,
+            "fsync_policy": self.config.fsync_policy,
+            "shards": [
+                {
+                    "id": shard.shard_id,
+                    "lower": shard.lower,
+                    "entries": self._shard_size(shard),
+                    "buffer_fill": len(shard.index.buffer)
+                    / shard.index.buffer.capacity,
+                    "wal_records": shard.wal.records,
+                }
+                for shard in self._shards
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+def read_manifest(root: str) -> dict:
+    path = os.path.join(root, MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise ShardedIndexError(f"no {MANIFEST_NAME} under {root}")
+    try:
+        with open(path) as fobj:
+            doc = json.load(fobj)
+    except (OSError, ValueError) as exc:
+        raise ShardedIndexError(f"unreadable manifest: {exc!r}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != MANIFEST_VERSION:
+        raise ShardedIndexError(f"unsupported manifest {doc.get('version')!r}")
+    if not isinstance(doc.get("shards"), list) or not doc["shards"]:
+        raise ShardedIndexError("manifest lists no shards")
+    return doc
+
+
+def recover_sharded(
+    root: str,
+    backend_factory: Optional[Callable] = None,
+    obs: Optional[Observability] = None,
+) -> Tuple[ShardedSortednessAwareIndex, Dict[int, RecoveryReport]]:
+    """Rebuild a sharded index from its root directory after a crash.
+
+    Per shard: stale checkpoint temp cleanup, checkpoint load, WAL-tail
+    replay (the single-node :meth:`CheckpointStore.recover` contract),
+    then the WAL is reopened (truncating any torn tail) and re-attached so
+    the shard resumes durable operation. Returns the index plus a
+    per-shard-id :class:`RecoveryReport` map.
+    """
+    manifest = read_manifest(root)
+    if backend_factory is None:
+        from repro.btree.btree import BPlusTree
+
+        backend_factory = BPlusTree
+    rows = sorted(
+        manifest["shards"],
+        key=lambda row: (row["lower"] is not None, row["lower"] or 0),
+    )
+    if rows[0]["lower"] is not None:
+        raise ShardedIndexError("manifest has no -inf edge shard")
+    shards: List[_Shard] = []
+    reports: Dict[int, RecoveryReport] = {}
+    for row in rows:
+        directory = os.path.join(root, row["dir"])
+        try:
+            cfg = SWAREConfig(**row["config"])
+        except TypeError as exc:
+            raise ShardedIndexError(
+                f"shard {row['id']} config malformed: {exc}"
+            ) from exc
+        store = CheckpointStore(os.path.join(directory, CHECKPOINT_NAME))
+        wal_path = os.path.join(directory, WAL_NAME)
+        index, report = store.recover(
+            wal_path=wal_path, config=cfg, backend_factory=backend_factory
+        )
+        wal = WriteAheadLog(
+            wal_path,
+            fsync_policy=manifest.get("fsync_policy", FSYNC_ALWAYS),
+            obs=NULL_OBS,
+        )
+        index.wal = wal
+        shards.append(_Shard(row["id"], row["lower"], directory, index, wal, store, cfg))
+        reports[row["id"]] = report
+    config = ShardedConfig(
+        n_shards=len(shards),
+        split_threshold=manifest.get("split_threshold", 0),
+        fsync_policy=manifest.get("fsync_policy", FSYNC_ALWAYS),
+    )
+    sharded = ShardedSortednessAwareIndex(
+        root,
+        config=config,
+        backend_factory=backend_factory,
+        obs=obs,
+        _recovered_shards=shards,
+        _next_shard_id=manifest.get("next_shard_id"),
+    )
+    return sharded, reports

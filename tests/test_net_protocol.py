@@ -1,0 +1,139 @@
+"""Wire-protocol unit tests: framing, CRC, payload codecs, stream reads."""
+
+import asyncio
+
+import pytest
+
+from repro.net import protocol as p
+
+
+class TestFrameCodec:
+    def test_roundtrip_empty_payload(self):
+        frame = p.encode_frame(p.OP_STATS, 7)
+        opcode, request_id, length, crc = p.decode_header(frame[: p.HEADER.size])
+        assert (opcode, request_id, length) == (p.OP_STATS, 7, 0)
+        p.check_payload(opcode, request_id, b"", crc)
+
+    def test_roundtrip_with_payload(self):
+        payload = p.encode_put(42, {"nested": [1, 2]})
+        frame = p.encode_frame(p.OP_PUT, 99, payload)
+        opcode, request_id, length, crc = p.decode_header(frame[: p.HEADER.size])
+        body = frame[p.HEADER.size :]
+        assert length == len(body)
+        p.check_payload(opcode, request_id, body, crc)
+        assert p.decode_put(body) == (42, {"nested": [1, 2]})
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(p.encode_frame(p.OP_GET, 1, p.encode_key(5)))
+        frame[0] ^= 0xFF
+        with pytest.raises(p.ProtocolError, match="magic"):
+            p.decode_header(bytes(frame[: p.HEADER.size]))
+
+    def test_unknown_opcode_rejected(self):
+        frame = p.HEADER.pack(p.WIRE_MAGIC, 0x55, 0, 1, 0, 0)
+        with pytest.raises(p.ProtocolError, match="opcode"):
+            p.decode_header(frame)
+
+    def test_flipped_payload_bit_fails_crc(self):
+        payload = bytearray(p.encode_key(1234))
+        frame = p.encode_frame(p.OP_GET, 3, bytes(payload))
+        opcode, request_id, _length, crc = p.decode_header(frame[: p.HEADER.size])
+        corrupt = bytearray(frame[p.HEADER.size :])
+        corrupt[2] ^= 0x01
+        with pytest.raises(p.ProtocolError, match="checksum"):
+            p.check_payload(opcode, request_id, bytes(corrupt), crc)
+
+    def test_oversized_length_rejected_before_allocation(self):
+        frame = p.HEADER.pack(p.WIRE_MAGIC, p.OP_PUT, 0, 1, p.MAX_PAYLOAD + 1, 0)
+        with pytest.raises(p.ProtocolError, match="cap"):
+            p.decode_header(frame)
+
+    def test_nonzero_flags_rejected(self):
+        frame = p.HEADER.pack(p.WIRE_MAGIC, p.OP_GET, 1, 1, 0, 0)
+        with pytest.raises(p.ProtocolError, match="flags"):
+            p.decode_header(frame)
+
+
+class TestPayloadCodecs:
+    def test_key_roundtrip_negative(self):
+        assert p.decode_key(p.encode_key(-(1 << 62))) == -(1 << 62)
+
+    def test_key_wrong_size(self):
+        with pytest.raises(p.ProtocolError):
+            p.decode_key(b"\x00" * 7)
+
+    def test_range_roundtrip(self):
+        assert p.decode_range(p.encode_range(-5, 10**12)) == (-5, 10**12)
+
+    def test_put_many_roundtrip(self):
+        items = [(1, "a"), (-2, None), (3, b"\x00" * 100), (4, [1, [2]])]
+        assert p.decode_put_many(p.encode_put_many(items)) == items
+        assert p.decode_put_many(p.encode_put_many([])) == []
+
+    def test_put_many_trailing_bytes_rejected(self):
+        blob = p.encode_put_many([(1, "a")]) + b"\x00"
+        with pytest.raises(p.ProtocolError, match="trailing"):
+            p.decode_put_many(blob)
+
+    def test_put_many_truncated_value_rejected(self):
+        blob = p.encode_put_many([(1, "abcdef")])
+        with pytest.raises(p.ProtocolError, match="truncated"):
+            p.decode_put_many(blob[:-3])
+
+    def test_get_many_roundtrip(self):
+        keys = [0, -1, 1 << 40]
+        assert p.decode_get_many(p.encode_get_many(keys)) == keys
+
+    def test_get_many_length_mismatch(self):
+        blob = p.encode_get_many([1, 2, 3])
+        with pytest.raises(p.ProtocolError, match="mismatch"):
+            p.decode_get_many(blob[:-1])
+
+    def test_error_roundtrip(self):
+        assert p.decode_error(p.encode_error("boom")) == "boom"
+
+
+def _feed_reader(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class TestReadFrame:
+    def test_reads_back_to_back_frames(self):
+        async def run():
+            stream = _feed_reader(
+                p.encode_frame(p.OP_PUT, 1, p.encode_put(1, "x"))
+                + p.encode_frame(p.OP_GET, 2, p.encode_key(1))
+            )
+            first = await p.read_frame(stream)
+            second = await p.read_frame(stream)
+            third = await p.read_frame(stream)
+            return first, second, third
+
+        (op1, rid1, _), (op2, rid2, _), eof = asyncio.run(run())
+        assert (op1, rid1) == (p.OP_PUT, 1)
+        assert (op2, rid2) == (p.OP_GET, 2)
+        assert eof is None  # clean EOF at a frame boundary
+
+    @pytest.mark.parametrize("cut", [1, p.HEADER.size - 1, p.HEADER.size + 2])
+    def test_torn_frame_raises(self, cut):
+        frame = p.encode_frame(p.OP_PUT, 9, p.encode_put(5, "value"))
+        assert cut < len(frame)
+
+        async def run():
+            await p.read_frame(_feed_reader(frame[:cut]))
+
+        with pytest.raises(p.ProtocolError, match="closed mid"):
+            asyncio.run(run())
+
+    def test_corrupt_crc_on_stream(self):
+        frame = bytearray(p.encode_frame(p.OP_PUT, 9, p.encode_put(5, "value")))
+        frame[-1] ^= 0x01  # flip a payload bit; header CRC now disagrees
+
+        async def run():
+            await p.read_frame(_feed_reader(bytes(frame)))
+
+        with pytest.raises(p.ProtocolError, match="checksum"):
+            asyncio.run(run())

@@ -1,0 +1,216 @@
+"""End-to-end asyncio server/client tests.
+
+The acceptance shape from the issue: >= 4 concurrent clients against a
+>= 4-shard server, pipelined requests, scatter-gather range results
+identical to a single-node oracle, group-commit acks under the batch
+fsync policy, and protocol-level fault handling (a corrupt frame drops
+only that connection).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.config import SWAREConfig
+from repro.core.sware import SortednessAwareIndex
+from repro.net import protocol as p
+from repro.net.client import IndexClient, ServerError, SyncIndexClient
+from repro.net.loadgen import LoadGenConfig, run_load
+from repro.net.server import IndexServer
+from repro.net.sharded import ShardedConfig, ShardedSortednessAwareIndex
+
+
+def serve_cfg(**kw):
+    kw.setdefault("n_shards", 4)
+    kw.setdefault("split_threshold", 0)
+    kw.setdefault("fsync_policy", "batch")
+    kw.setdefault("initial_key_range", (0, 5000))
+    kw.setdefault("index_config", SWAREConfig(buffer_capacity=32, page_size=8))
+    return ShardedConfig(**kw)
+
+
+async def start_server(tmp_path, **kw):
+    index = ShardedSortednessAwareIndex(str(tmp_path / "db"), config=serve_cfg(**kw))
+    server = IndexServer(index, commit_interval=0.001)
+    await server.start()
+    return server
+
+
+class TestEndToEnd:
+    def test_four_clients_match_single_node_oracle(self, tmp_path):
+        async def run():
+            server = await start_server(tmp_path)
+            oracle = {}
+            clients = [await IndexClient.connect(port=server.port) for _ in range(4)]
+
+            async def worker(cid, client):
+                rng = random.Random(cid)
+                # Each client owns keys == cid (mod 4): deterministic final
+                # state despite concurrent interleaving.
+                for step in range(200):
+                    key = rng.randrange(0, 1250) * 4 + cid
+                    if rng.random() < 0.15:
+                        await client.delete(key)
+                        oracle.pop(key, None)
+                    else:
+                        value = (cid, step)
+                        await client.put(key, value)
+                        oracle[key] = value
+
+            await asyncio.gather(*[worker(i, c) for i, c in enumerate(clients)])
+
+            # Single-node oracle: same content, no shards, no wire.
+            from repro.btree.btree import BPlusTree
+
+            single = SortednessAwareIndex(BPlusTree(), config=SWAREConfig())
+            single.put_many(sorted(oracle.items()))
+
+            client = clients[0]
+            assert await client.range_query(-(1 << 62), 1 << 62) == single.range_query(
+                -(1 << 62), 1 << 62
+            )
+            rng = random.Random(99)
+            for _ in range(25):
+                lo = rng.randrange(0, 5000)
+                hi = lo + rng.randrange(1, 900)
+                assert await client.range_query(lo, hi) == single.range_query(lo, hi)
+            keys = [rng.randrange(0, 5200) for _ in range(300)]
+            assert await client.get_many(keys) == single.get_many(keys)
+
+            stats = await client.stats()
+            assert stats["n_shards"] >= 4
+            assert stats["server"]["connections"] == 4
+            assert stats["server"]["group_commit"] is True
+            assert stats["server"]["commits"] > 0
+
+            for c in clients:
+                await c.close()
+            await server.stop()
+
+        asyncio.run(run())
+
+    def test_pipelined_burst_resolves_by_request_id(self, tmp_path):
+        async def run():
+            server = await start_server(tmp_path)
+            async with await IndexClient.connect(port=server.port) as client:
+                # Fire 200 puts + interleaved reads without awaiting each:
+                # group commit parks the put acks while reads return
+                # immediately, so completion order != send order.
+                puts = [client.put(i, i * 10) for i in range(200)]
+                await asyncio.gather(*puts)
+                gets = [client.get(i) for i in range(200)]
+                assert await asyncio.gather(*gets) == [i * 10 for i in range(200)]
+                await client.put_many([(1000 + i, "b") for i in range(50)])
+                assert await client.get(1049) == "b"
+            await server.stop()
+
+        asyncio.run(run())
+
+    def test_server_error_is_per_request_not_fatal(self, tmp_path):
+        async def run():
+            server = await start_server(tmp_path)
+            real_get = server.index.get
+
+            def injected(key):
+                if key == 666:
+                    raise RuntimeError("injected index fault")
+                return real_get(key)
+
+            server.index.get = injected
+            async with await IndexClient.connect(port=server.port) as client:
+                with pytest.raises(ServerError, match="injected index fault"):
+                    await client.get(666)
+                # The error is scoped to that request; the connection lives.
+                await client.put(5, "ok")
+                assert await client.get(5) == "ok"
+            await server.stop()
+
+        asyncio.run(run())
+
+    def test_corrupt_frame_closes_connection_only(self, tmp_path):
+        async def run():
+            server = await start_server(tmp_path)
+            reader, writer = await asyncio.open_connection(port=server.port)
+            frame = bytearray(p.encode_frame(p.OP_PUT, 1, p.encode_put(1, "x")))
+            frame[-1] ^= 0xFF  # fails CRC server-side
+            writer.write(bytes(frame))
+            await writer.drain()
+            assert await reader.read(64) == b""  # server hung up on us
+            writer.close()
+            # ... but the listener still accepts fresh connections.
+            async with await IndexClient.connect(port=server.port) as client:
+                await client.put(2, "y")
+                assert await client.get(2) == "y"
+            await server.stop()
+
+        asyncio.run(run())
+
+    def test_sync_client_wrapper(self, tmp_path):
+        async def boot():
+            return await start_server(tmp_path)
+
+        loop = asyncio.new_event_loop()
+        server = loop.run_until_complete(boot())
+
+        async def serve_until_cancelled():
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+
+        task = loop.create_task(serve_until_cancelled())
+        import threading
+
+        thread = threading.Thread(target=loop.run_until_complete, args=(task,))
+        thread.start()
+        try:
+            with SyncIndexClient(port=server.port) as client:
+                client.put(1, "a")
+                client.put_many([(2, "b"), (3, "c")])
+                assert client.get(2) == "b"
+                assert client.get_many([1, 2, 3, 4]) == ["a", "b", "c", None]
+                assert client.range_query(1, 3) == [(1, "a"), (2, "b"), (3, "c")]
+                client.delete(2)
+                assert client.get(2) is None
+                assert client.stats()["n_shards"] == 4
+        finally:
+            loop.call_soon_threadsafe(task.cancel)
+            thread.join()
+            loop.run_until_complete(server.stop())
+            loop.close()
+
+
+class TestLoadGenerator:
+    def test_closed_loop_verifies_against_oracle(self, tmp_path):
+        summary = run_load(
+            LoadGenConfig(
+                clients=4,
+                ops_per_client=120,
+                shards=4,
+                key_space=4000,
+                seed=11,
+            ),
+            root=str(tmp_path / "bench"),
+        )
+        assert summary["total_ops"] == 480
+        assert summary["oracle_checks"] >= 34
+        assert summary["ops_per_s"] > 0
+        assert summary["server"]["errors"] == 0
+        assert set(summary["latency"]) <= {"put", "get", "range", "put_many", "get_many"}
+
+    def test_open_loop_runs_to_completion(self, tmp_path):
+        summary = run_load(
+            LoadGenConfig(
+                clients=2,
+                ops_per_client=60,
+                arrival="open",
+                open_rate=4000.0,
+                shards=2,
+                key_space=2000,
+                seed=12,
+            ),
+            root=str(tmp_path / "bench"),
+        )
+        assert summary["total_ops"] == 120
+        assert summary["oracle_checks"] >= 34

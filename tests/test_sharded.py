@@ -1,0 +1,278 @@
+"""Sharded index tests: routing, splits, manifest durability, recovery.
+
+The central check is a seeded fuzz against a dict oracle with splitting
+enabled — every read (point, batch, scatter-gather range) must be
+indistinguishable from single-node semantics no matter how many shards
+the keyspace has fissioned into.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.config import SWAREConfig
+from repro.net.sharded import (
+    MANIFEST_NAME,
+    ShardedConfig,
+    ShardedIndexError,
+    ShardedSortednessAwareIndex,
+    read_manifest,
+    recover_sharded,
+)
+
+SMALL = SWAREConfig(buffer_capacity=32, page_size=8)
+
+
+def make_sharded(tmp_path, **kw):
+    kw.setdefault("n_shards", 4)
+    kw.setdefault("split_threshold", 0)
+    kw.setdefault("initial_key_range", (0, 10_000))
+    kw.setdefault("index_config", SMALL)
+    return ShardedSortednessAwareIndex(
+        str(tmp_path / "db"), config=ShardedConfig(**kw)
+    )
+
+
+class TestRouting:
+    def test_every_key_routes_even_outside_initial_range(self, tmp_path):
+        idx = make_sharded(tmp_path)
+        for key in (-(10**15), -1, 0, 2500, 9_999, 10**15):
+            idx.put(key, key)
+        assert idx.items() == sorted((k, k) for k in
+                                     (-(10**15), -1, 0, 2500, 9_999, 10**15))
+        assert idx.get(-(10**15)) == -(10**15)
+        assert idx.get(10**15) == 10**15
+        idx.close()
+
+    def test_initial_boundaries_partition_the_range(self, tmp_path):
+        idx = make_sharded(tmp_path, n_shards=4, initial_key_range=(0, 8000))
+        bounds = [lower for lower, _sid in idx.shard_map()]
+        assert bounds == [None, 2000, 4000, 6000]
+        idx.close()
+
+    def test_get_many_preserves_input_order_across_shards(self, tmp_path):
+        idx = make_sharded(tmp_path)
+        for k in range(0, 10_000, 100):
+            idx.put(k, k * 2)
+        keys = [9_900, 0, 5_000, 123, 2_500, 9_900]
+        assert idx.get_many(keys) == [
+            k * 2 if k % 100 == 0 else None for k in keys
+        ]
+        idx.close()
+
+    def test_range_clamps_to_assigned_ranges(self, tmp_path):
+        idx = make_sharded(tmp_path)
+        for k in range(0, 10_000, 7):
+            idx.put(k, k)
+        got = idx.range_query(2_400, 7_700)  # spans three shard boundaries
+        assert got == [(k, k) for k in range(0, 10_000, 7) if 2_400 <= k <= 7_700]
+        idx.close()
+
+
+class TestSplits:
+    def test_split_fires_and_preserves_contents(self, tmp_path):
+        idx = make_sharded(tmp_path, n_shards=1, split_threshold=100)
+        expect = {}
+        for k in range(400):
+            idx.put(k, f"v{k}")
+            expect[k] = f"v{k}"
+        assert idx.splits >= 1
+        assert idx.n_shards >= 2
+        assert idx.items() == sorted(expect.items())
+        assert idx.range_query(-(10**9), 10**9) == sorted(expect.items())
+        idx.close()
+
+    def test_split_is_durable_in_manifest(self, tmp_path):
+        idx = make_sharded(tmp_path, n_shards=1, split_threshold=100)
+        for k in range(300):
+            idx.put(k, k)
+        splits = idx.splits
+        assert splits >= 1
+        doc = read_manifest(str(tmp_path / "db"))
+        assert len(doc["shards"]) == idx.n_shards
+        assert doc["next_shard_id"] == idx._next_shard_id
+        # Every shard dir in the manifest exists with a WAL + checkpoint.
+        for row in doc["shards"]:
+            shard_dir = tmp_path / "db" / row["dir"]
+            assert (shard_dir / "wal.log").exists()
+            assert (shard_dir / "checkpoint.db").exists()
+        idx.close()
+
+    def test_split_inherits_parent_config(self, tmp_path):
+        odd = SWAREConfig(buffer_capacity=24, page_size=8)
+        idx = make_sharded(
+            tmp_path, n_shards=1, split_threshold=100, index_config=odd
+        )
+        for k in range(300):
+            idx.put(k, k)
+        assert idx.n_shards >= 2
+        for shard in idx._shards:
+            assert shard.config.buffer_capacity == 24
+        idx.close()
+
+    def test_all_equal_keys_never_split(self, tmp_path):
+        idx = make_sharded(tmp_path, n_shards=1, split_threshold=10)
+        for i in range(50):
+            idx.put(7, i)  # one live key can't yield a boundary
+        assert idx.splits == 0
+        assert idx.get(7) == 49
+        idx.close()
+
+
+class TestDivergentConfigs:
+    def test_per_shard_configs_applied(self, tmp_path):
+        configs = [
+            SWAREConfig(buffer_capacity=16, page_size=4),
+            SWAREConfig(buffer_capacity=64, page_size=8),
+        ]
+        idx = ShardedSortednessAwareIndex(
+            str(tmp_path / "db"),
+            config=ShardedConfig(
+                n_shards=2, split_threshold=0, initial_key_range=(0, 1000)
+            ),
+            shard_configs=configs,
+        )
+        assert [s.index.buffer.capacity for s in idx._shards] == [16, 64]
+        idx.close()
+        # ... and survive recovery through the manifest.
+        rec, _ = recover_sharded(str(tmp_path / "db"))
+        assert [s.index.buffer.capacity for s in rec._shards] == [16, 64]
+        rec.close()
+
+    def test_config_count_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ShardedIndexError, match="shard configs"):
+            ShardedSortednessAwareIndex(
+                str(tmp_path / "db"),
+                config=ShardedConfig(n_shards=3),
+                shard_configs=[SWAREConfig()],
+            )
+
+
+class TestFuzzVsOracle:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mixed_ops_with_splits_match_dict(self, tmp_path, seed):
+        idx = make_sharded(
+            tmp_path, n_shards=2, split_threshold=150, initial_key_range=(0, 5000)
+        )
+        oracle = {}
+        rng = random.Random(seed)
+        for step in range(2500):
+            roll = rng.random()
+            if roll < 0.55:
+                k = rng.randrange(0, 5000)
+                idx.put(k, step)
+                oracle[k] = step
+            elif roll < 0.65:
+                items = [
+                    (rng.randrange(0, 5000), (step, j)) for j in range(rng.randrange(1, 6))
+                ]
+                idx.put_many(items)
+                oracle.update(items)
+            elif roll < 0.78:
+                k = rng.randrange(0, 5000)
+                idx.delete(k)
+                oracle.pop(k, None)
+            elif roll < 0.90:
+                lo = rng.randrange(0, 5000)
+                hi = lo + rng.randrange(0, 800)
+                assert idx.range_query(lo, hi) == sorted(
+                    (k, v) for k, v in oracle.items() if lo <= k <= hi
+                )
+            else:
+                keys = [rng.randrange(0, 5000) for _ in range(8)]
+                assert idx.get_many(keys) == [oracle.get(k) for k in keys]
+        assert idx.splits > 0, "fuzz never exercised a split"
+        assert idx.items() == sorted(oracle.items())
+        idx.close()
+
+
+class TestRecovery:
+    def test_recover_roundtrip_after_checkpoint(self, tmp_path):
+        idx = make_sharded(tmp_path, n_shards=3, split_threshold=120)
+        oracle = {}
+        for k in range(0, 600):
+            idx.put(k * 3 % 10_000, k)
+            oracle[k * 3 % 10_000] = k
+        idx.checkpoint_all()
+        idx.close()
+        rec, reports = recover_sharded(str(tmp_path / "db"))
+        assert set(reports) == {s.shard_id for s in rec._shards}
+        assert rec.items() == sorted(oracle.items())
+        rec.close()
+
+    def test_recover_replays_wal_tail(self, tmp_path):
+        idx = make_sharded(tmp_path, n_shards=2)
+        for k in range(100):
+            idx.put(k, k)
+        idx.checkpoint_all()
+        for k in range(100, 150):  # post-checkpoint tail lives only in WALs
+            idx.put(k, k)
+        idx.delete(5)
+        idx.commit()
+        idx.close()
+        rec, reports = recover_sharded(str(tmp_path / "db"))
+        assert sum(r.wal_records_replayed for r in reports.values()) >= 51
+        assert rec.get(5) is None
+        assert rec.get(149) == 149
+        assert rec.items() == [(k, k) for k in range(150) if k != 5]
+        rec.close()
+
+    def test_recovered_index_keeps_working_durably(self, tmp_path):
+        idx = make_sharded(tmp_path, n_shards=2)
+        idx.put(1, "a")
+        idx.commit()
+        idx.close()
+        rec, _ = recover_sharded(str(tmp_path / "db"))
+        rec.put(2, "b")
+        rec.commit()
+        rec.close()
+        again, _ = recover_sharded(str(tmp_path / "db"))
+        assert again.items() == [(1, "a"), (2, "b")]
+        again.close()
+
+    def test_double_create_rejected(self, tmp_path):
+        idx = make_sharded(tmp_path)
+        idx.close()
+        with pytest.raises(ShardedIndexError, match="recover_sharded"):
+            make_sharded(tmp_path)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ShardedIndexError, match="MANIFEST"):
+            recover_sharded(str(tmp_path / "nothere"))
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        idx = make_sharded(tmp_path)
+        idx.close()
+        path = tmp_path / "db" / MANIFEST_NAME
+        path.write_text("{ not json")
+        with pytest.raises(ShardedIndexError, match="unreadable"):
+            recover_sharded(str(tmp_path / "db"))
+
+    def test_manifest_without_edge_shard_rejected(self, tmp_path):
+        idx = make_sharded(tmp_path)
+        idx.close()
+        path = tmp_path / "db" / MANIFEST_NAME
+        doc = json.loads(path.read_text())
+        for row in doc["shards"]:
+            if row["lower"] is None:
+                row["lower"] = 0
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ShardedIndexError, match="-inf"):
+            recover_sharded(str(tmp_path / "db"))
+
+
+class TestCommit:
+    def test_commit_syncs_only_dirty_shards(self, tmp_path):
+        idx = make_sharded(tmp_path, fsync_policy="batch", n_shards=4)
+        idx.put(1, "a")        # shard 0
+        idx.put(9_999, "b")    # last shard
+        assert idx.commit() == 2
+        assert idx.commit() == 0  # nothing dirty afterwards
+        idx.close()
+
+    def test_commit_under_always_policy_is_a_noop_sync(self, tmp_path):
+        idx = make_sharded(tmp_path, fsync_policy="always")
+        idx.put(1, "a")
+        assert idx.commit() == 0  # appends synced inline; only clears the set
+        idx.close()
