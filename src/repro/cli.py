@@ -28,6 +28,14 @@ Commands
     Run every repro.kernels hot-path kernel under both backends (numpy
     vs pure Python) plus an end-to-end SA B+-tree batch workload, and,
     with ``--json``, write the ``BENCH_kernels.json`` telemetry artifact.
+``bench-sosd``
+    SOSD-style cross-backend benchmark: every registered backend
+    (SA B+-tree, B+-tree, Bε-tree, LSM, learned, cracking) over every
+    dataset family (books/osm/fb per sortedness regime, wiki/tpch natural
+    streams, real SOSD binaries via ``REPRO_SOSD_DIR``), ranked by
+    simulated I/O cost with measured per-dataset (K,L). With ``--json``
+    it writes the ``BENCH_sosd.json`` telemetry artifact the CI
+    sosd-smoke perf gate tracks.
 ``perf-gate``
     Compare the throughput gauges of two bench artifacts (committed
     baseline vs fresh run); exits non-zero on regressions beyond the
@@ -100,6 +108,7 @@ EXPERIMENTS = [
     "concurrent_ops",
     "kernels",
     "nodes",
+    "sosd",
 ]
 
 
@@ -235,6 +244,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="observe the run and write the BENCH_nodes.json telemetry artifact",
     )
     nodes.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample-profile the run and print the per-layer time table",
+    )
+
+    sosd = sub.add_parser(
+        "bench-sosd",
+        help="SOSD-style cross-backend bench: SWARE vs trees/learned/cracking",
+    )
+    sosd.add_argument("--n", type=int, default=None, help="override workload size")
+    sosd.add_argument(
+        "--lookups", type=int, default=None, help="point lookups per dataset"
+    )
+    sosd.add_argument(
+        "--ranges", type=int, default=None, help="range scans per dataset"
+    )
+    sosd.add_argument(
+        "--backends",
+        type=str,
+        default=None,
+        metavar="LIST",
+        help="comma-separated backend names (default: all registered)",
+    )
+    sosd.add_argument(
+        "--regimes",
+        type=str,
+        default=None,
+        metavar="LIST",
+        help="comma-separated sortedness regimes for the set families "
+        "(default near_sorted,scrambled)",
+    )
+    sosd.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="observe the run and write the BENCH_sosd.json telemetry artifact",
+    )
+    sosd.add_argument(
         "--profile",
         action="store_true",
         help="sample-profile the run and print the per-layer time table",
@@ -565,7 +613,10 @@ def _run_experiment_with_telemetry(
         )
     if json_path is None:
         return 0
-    doc = build_bench_artifact(artifact_name or name, obs)
+    # Experiments may carry structured metadata for the artifact (e.g. the
+    # per-dataset measured (K,L) blocks of bench-sosd).
+    extra = getattr(result, "artifact_extra", None)
+    doc = build_bench_artifact(artifact_name or name, obs, extra=extra)
     errors = validate_bench_artifact(doc)
     if errors:  # pragma: no cover - a bug, not an input error
         for error in errors:
@@ -641,6 +692,27 @@ def _cmd_bench_nodes(args: argparse.Namespace) -> int:
         kwargs["repeats"] = args.repeats
     return _run_experiment_with_telemetry(
         "nodes", kwargs, args.json, profile=args.profile
+    )
+
+
+def _cmd_bench_sosd(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    if args.lookups is not None:
+        kwargs["n_lookups"] = args.lookups
+    if args.ranges is not None:
+        kwargs["n_ranges"] = args.ranges
+    if args.backends is not None:
+        kwargs["backends"] = tuple(
+            token.strip() for token in args.backends.split(",") if token.strip()
+        )
+    if args.regimes is not None:
+        kwargs["regimes"] = tuple(
+            token.strip() for token in args.regimes.split(",") if token.strip()
+        )
+    return _run_experiment_with_telemetry(
+        "sosd", kwargs, args.json, profile=args.profile
     )
 
 
@@ -797,6 +869,10 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         f"fsync={summary['fsync_policy']})"
     )
     for kind, stats in sorted(summary["latency"].items()):
+        if not stats["n"]:
+            # The kind never fired this run; percentiles are null, not 0.
+            print(f"  {kind:9s} n=     0  (no samples)")
+            continue
         print(
             f"  {kind:9s} n={stats['n']:6.0f}  p50={stats['p50_ns'] / 1e6:7.2f}ms  "
             f"p95={stats['p95_ns'] / 1e6:7.2f}ms  p99={stats['p99_ns'] / 1e6:7.2f}ms"
@@ -1021,6 +1097,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-concurrent": _cmd_bench_concurrent,
         "bench-kernels": _cmd_bench_kernels,
         "bench-nodes": _cmd_bench_nodes,
+        "bench-sosd": _cmd_bench_sosd,
         "perf-gate": _cmd_perf_gate,
         "recover": _cmd_recover,
         "serve": _cmd_serve,

@@ -7,8 +7,13 @@ from repro.core.concurrent import ConcurrentSortednessAwareIndex
 from repro.core.config import SWAREConfig
 from repro.core.locks import BlockingLockManager, RWLock
 from repro.core.factory import (
+    BACKEND_NAMES,
+    backend_factory,
     make_baseline_betree,
     make_baseline_btree,
+    make_cracking,
+    make_learned,
+    make_lsm,
     make_sa_betree,
     make_sa_btree,
 )
@@ -36,8 +41,13 @@ __all__ = [
     "TreeBackend",
     "PageZonemaps",
     "Zonemap",
+    "BACKEND_NAMES",
+    "backend_factory",
     "make_baseline_betree",
     "make_baseline_btree",
+    "make_cracking",
+    "make_learned",
+    "make_lsm",
     "make_sa_betree",
     "make_sa_btree",
 ]

@@ -44,6 +44,17 @@ class InvariantViolation(ReproError, AssertionError):
     """
 
 
+class CheckpointUnsupportedError(ReproError, TypeError):
+    """The backend behind an index cannot be checkpointed.
+
+    The page-image checkpoint format serializes B+-tree nodes; backends
+    without a node structure (the learned index and the cracking index,
+    which rebuild their models/partitions from data) raise this instead of
+    failing deep inside the serializer. Persist their contents through the
+    WAL or re-ingest instead.
+    """
+
+
 class LockTimeout(ReproError, TimeoutError):
     """A blocking lock acquisition exceeded its timeout.
 

@@ -84,6 +84,8 @@ __all__ = [
     "max_displacement",
     "count_inversions",
     "count_runs",
+    "pla_fit_segments",
+    "pla_predict_many",
 ]
 
 _BACKENDS = ("python", "numpy")
@@ -354,3 +356,11 @@ def count_inversions(keys):
 
 def count_runs(keys):
     return _impl().count_runs(keys)
+
+
+def pla_fit_segments(keys, epsilon):
+    return _impl().pla_fit_segments(keys, epsilon)
+
+
+def pla_predict_many(first_keys, slopes, starts, keys):
+    return _impl().pla_predict_many(first_keys, slopes, starts, keys)

@@ -606,3 +606,35 @@ def count_runs(keys: Sequence[int]) -> int:
     except _FALLBACK_ERRORS:
         return _py.count_runs(keys)
     return 1 + int(np.count_nonzero(arr[1:] < arr[:-1]))
+
+
+# ----------------------------------------------------------------------
+# piecewise-linear approximation (PGM/FITing-tree style learned index)
+# ----------------------------------------------------------------------
+def pla_fit_segments(keys, epsilon: int):
+    # The shrinking-cone fit is inherently sequential (each point updates
+    # the feasible interval of the *current* segment); delegating to the
+    # scalar twin keeps the float arithmetic — and therefore the segment
+    # boundaries — bit-identical across backends. Fits happen once per
+    # rebuild, never on the per-query hot path.
+    if isinstance(keys, np.ndarray):
+        keys = keys.tolist()
+    return _py.pla_fit_segments(keys, epsilon)
+
+
+def pla_predict_many(first_keys, slopes, starts, keys):
+    try:
+        qs = _int_array(keys).astype(np.int64, copy=False)
+        fk = _int_array(first_keys).astype(np.int64, copy=False)
+    except _FALLBACK_ERRORS:
+        return _py.pla_predict_many(first_keys, slopes, starts, keys)
+    if fk.size == 0:
+        return []
+    seg = np.searchsorted(fk, qs, side="right") - 1
+    np.clip(seg, 0, None, out=seg)
+    sl = np.asarray(slopes, dtype=np.float64)[seg]
+    st = np.asarray(starts, dtype=np.int64)[seg]
+    # float64 multiply + truncation toward zero matches the scalar
+    # ``int(slope * float(delta))`` exactly.
+    pred = st + (sl * (qs - fk[seg]).astype(np.float64)).astype(np.int64)
+    return pred.tolist()

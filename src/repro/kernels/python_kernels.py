@@ -548,3 +548,81 @@ def count_runs(keys: Sequence[int]) -> int:
         if keys[i] < keys[i - 1]:
             runs += 1
     return runs
+
+
+# ----------------------------------------------------------------------
+# piecewise-linear approximation (PGM/FITing-tree style learned index)
+# ----------------------------------------------------------------------
+def pla_fit_segments(keys: Sequence[int], epsilon: int):
+    """Greedy shrinking-cone PLA fit over a sorted, unique key column.
+
+    Returns ``(first_keys, slopes, starts)``: segment ``i`` covers the index
+    range ``starts[i]:starts[i+1]`` (the last segment runs to ``len(keys)``)
+    and predicts ``pos ~= starts[i] + slopes[i] * (key - first_keys[i])``
+    with absolute error at most ``epsilon`` for every fitted key.
+
+    The cone is the classic feasible-slope interval: each new point
+    intersects ``[slope_lo, slope_hi]`` with the slopes that keep it within
+    +/- epsilon of the segment origin; an empty intersection closes the
+    segment with the midpoint slope and opens a new one at the point.
+    """
+    n = len(keys)
+    first_keys: list = []
+    slopes: list = []
+    starts: list = []
+    if n == 0:
+        return first_keys, slopes, starts
+    eps = float(epsilon)
+    x0 = keys[0]
+    y0 = 0
+    slope_lo = 0.0
+    slope_hi = float("inf")
+    starts.append(0)
+    first_keys.append(x0)
+    for i in range(1, n):
+        dx = float(keys[i] - x0)
+        dy = float(i - y0)
+        hi = (dy + eps) / dx
+        lo = (dy - eps) / dx
+        new_lo = lo if lo > slope_lo else slope_lo
+        new_hi = hi if hi < slope_hi else slope_hi
+        if new_lo > new_hi:
+            slopes.append(_cone_slope(slope_lo, slope_hi))
+            x0 = keys[i]
+            y0 = i
+            slope_lo = 0.0
+            slope_hi = float("inf")
+            starts.append(i)
+            first_keys.append(x0)
+        else:
+            slope_lo = new_lo
+            slope_hi = new_hi
+    slopes.append(_cone_slope(slope_lo, slope_hi))
+    return first_keys, slopes, starts
+
+
+def _cone_slope(slope_lo: float, slope_hi: float) -> float:
+    """The representative slope of a closed cone (midpoint; 0 for a point)."""
+    if slope_hi == float("inf"):
+        # Single-point segment: any slope fits; 0 keeps predictions pinned.
+        return 0.0
+    return (slope_lo + slope_hi) / 2.0
+
+
+def pla_predict_many(first_keys, slopes, starts, keys):
+    """Predicted data-layer position per query key, one ``int`` per key.
+
+    ``first_keys``/``slopes``/``starts`` are the columns produced by
+    :func:`pla_fit_segments`. Keys below the first segment clamp to segment
+    0. Predictions are raw (not clamped to the data bounds) — the caller
+    owns clamping and the epsilon search window.
+    """
+    from bisect import bisect_right
+
+    out = []
+    for key in keys:
+        seg = bisect_right(first_keys, key) - 1
+        if seg < 0:
+            seg = 0
+        out.append(starts[seg] + int(slopes[seg] * float(key - first_keys[seg])))
+    return out

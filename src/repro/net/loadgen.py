@@ -167,9 +167,16 @@ class _ClientWorker:
         await asyncio.gather(*pending)
 
 
-def _percentile(sorted_samples: List[int], q: float) -> float:
+def _percentile(sorted_samples: List[int], q: float) -> Optional[float]:
+    """Nearest-rank percentile, or ``None`` for an empty bucket.
+
+    ``None`` (JSON ``null``) is deliberate: a 0.0 latency for an op kind
+    that never fired reads as "infinitely fast" to artifact consumers and
+    to the perf gate. A single-sample bucket is legitimate — every
+    percentile is that sample.
+    """
     if not sorted_samples:
-        return 0.0
+        return None
     position = min(len(sorted_samples) - 1, int(q * (len(sorted_samples) - 1) + 0.5))
     return float(sorted_samples[position])
 
@@ -276,17 +283,26 @@ async def _run_async(
     obs.gauge("serve_ops_per_s", ops_per_s)
 
     phases = []
-    kind_summary: Dict[str, Dict[str, float]] = {}
-    for kind, samples in sorted(merged.items()):
+    kind_summary: Dict[str, Dict[str, object]] = {}
+    # Enumerate the full op mix, not just the kinds that happened to fire:
+    # a short run can miss a low-weight kind entirely, and a silently
+    # absent bucket is indistinguishable from a forgotten one. Empty
+    # buckets report explicit nulls and publish no latency gauges (a gauge
+    # must never carry a fabricated 0 ns).
+    all_kinds = sorted({kind for kind, _ in DEFAULT_MIX} | set(merged))
+    for kind in all_kinds:
+        samples = merged.get(kind, [])
         samples.sort()
         stats = {
             "n": len(samples),
             "p50_ns": _percentile(samples, 0.50),
             "p95_ns": _percentile(samples, 0.95),
             "p99_ns": _percentile(samples, 0.99),
-            "mean_ns": sum(samples) / len(samples),
+            "mean_ns": sum(samples) / len(samples) if samples else None,
         }
         kind_summary[kind] = stats
+        if not samples:
+            continue
         obs.gauge(f"serve_{kind}_p50_ns", stats["p50_ns"])
         obs.gauge(f"serve_{kind}_p99_ns", stats["p99_ns"])
         phases.append(

@@ -134,6 +134,17 @@ def _fsync_dir(path: str) -> None:
         os.close(fd)
 
 
+def _clamp_items(
+    items: List[Tuple[int, object]], lower: Optional[int], upper: Optional[int]
+) -> List[Tuple[int, object]]:
+    """Keep only the entries inside the half-open assigned range [lower, upper)."""
+    return [
+        (key, value)
+        for key, value in items
+        if (lower is None or key >= lower) and (upper is None or key < upper)
+    ]
+
+
 class ShardedSortednessAwareIndex:
     """See module docstring."""
 
@@ -397,8 +408,14 @@ class ShardedSortednessAwareIndex:
 
     def items(self) -> List[Tuple[int, object]]:
         out: List[Tuple[int, object]] = []
-        for shard in self._shards:
-            out.extend(shard.index.items())
+        for position, shard in enumerate(self._shards):
+            # Clamp each shard's view to its assigned range. A crash between
+            # the split's manifest commit and the donor cleanup leaves the
+            # donor holding stale copies of the moved keys after recovery;
+            # routing and range_query already exclude them, and the full
+            # enumeration must too or those keys are reported twice.
+            lower, upper = self._assigned_range(position)
+            out.extend(_clamp_items(shard.index.items(), lower, upper))
         return out
 
     # ------------------------------------------------------------------
@@ -422,7 +439,15 @@ class ShardedSortednessAwareIndex:
         """Split ``shard`` at its median live key (crash-safe; see module
         docstring for the ordering argument)."""
         shard.index.flush_all()
-        live = shard.index.items()
+        # Restrict to the shard's assigned range: stale out-of-range copies
+        # (left by a crash-interrupted earlier split, see items()) must not
+        # pull the median past the shard's upper bound — a boundary above it
+        # would break the shard map's ordering invariant.
+        position = next(
+            i for i, s in enumerate(self._shards) if s.shard_id == shard.shard_id
+        )
+        lower, upper = self._assigned_range(position)
+        live = _clamp_items(shard.index.items(), lower, upper)
         if len(live) < 2:
             return  # a one-entry shard cannot split; wait for more data
         median = live[len(live) // 2][0]
@@ -439,9 +464,6 @@ class ShardedSortednessAwareIndex:
             new_shard.index.checkpoint(new_shard.store)
             # Commit the route change before touching the donor: from here
             # on the moved keys are owned (and durably held) by new_shard.
-            position = next(
-                i for i, s in enumerate(self._shards) if s.shard_id == shard.shard_id
-            )
             self._shards.insert(position + 1, new_shard)
             self._write_manifest()
             self.splits += 1

@@ -47,7 +47,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import ReproError
+from repro.errors import CheckpointUnsupportedError, ReproError
 from repro.obs import current_obs
 from repro.storage.pages import deserialize_btree, serialize_btree
 from repro.storage.wal import fsync_file, replay_wal
@@ -262,6 +262,13 @@ class CheckpointStore:
         until the new one is durably committed; a crash at any point during
         the save leaves at most a stale temp file.
         """
+        if not hasattr(tree, "_root"):
+            # The page format serializes B+-tree nodes; model-based backends
+            # (learned, cracking) have no node structure to image.
+            raise CheckpointUnsupportedError(
+                f"{type(tree).__name__} has no page-serializable node "
+                "structure; checkpointing supports B+-tree backends only"
+            )
         blob = serialize_btree(tree)
         epoch = self._next_epoch()
         tmp = self.tmp_path

@@ -142,3 +142,54 @@ class TestDuplicateHeavyAgreement:
             assert search(keys, 7) == run_length - 1, search.__name__
             assert search(keys, 6) == -1, search.__name__
             assert search(keys, 8) == -1, search.__name__
+
+
+class TestConstantSliceGuard:
+    """Regression pin for the ``lo_key == hi_key`` constant-run guard.
+
+    When the search window degenerates to an all-equal slice *mid-search*
+    (not just at the top-level call), the interpolation denominator
+    ``hi_key - lo_key`` is zero; the guard must return the window's right
+    edge instead of dividing. These tests construct windows that only
+    become constant after a probe shrinks them, so a guard that fires only
+    on the initial bounds would still divide by zero.
+    """
+
+    @given(
+        st.integers(min_value=2, max_value=100),  # run length
+        st.integers(min_value=0, max_value=30),  # distinct keys on each side
+        st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_plateau_reached_mid_search(self, run, n_left, n_right):
+        # A long plateau of ``target`` flanked by distinct keys: probes
+        # discard the flanks until the window is the constant run alone.
+        target = 1000
+        keys = (
+            list(range(target - n_left, target))
+            + [target] * run
+            + list(range(target + 1, target + 1 + n_right))
+        )
+        expected = rightmost_index(keys, target)
+        assert interpolation_search(keys, target) == expected
+
+    @given(
+        st.lists(
+            st.sampled_from([0, 1, 2**40, 2**40 + 1]), min_size=1, max_size=150
+        ),
+        st.sampled_from([0, 1, 2, 2**40, 2**40 + 1]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_extreme_skew_with_duplicate_runs(self, keys, target):
+        # Clustered values separated by a huge gap: interpolation probes
+        # collapse onto one cluster (an all-equal sub-slice) immediately.
+        keys = sorted(keys)
+        assert interpolation_search(keys, target) == rightmost_index(keys, target)
+
+    def test_constant_sub_range_within_mixed_list(self):
+        # Explicit lo/hi restriction onto an all-equal slice of a list
+        # whose full extent is not constant.
+        keys = [1, 5, 5, 5, 5, 9]
+        assert interpolation_search(keys, 5, lo=1, hi=5) == 4
+        assert interpolation_search(keys, 4, lo=1, hi=5) == -1
+        assert interpolation_search(keys, 6, lo=1, hi=5) == -1

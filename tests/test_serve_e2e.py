@@ -199,6 +199,51 @@ class TestLoadGenerator:
         assert summary["server"]["errors"] == 0
         assert set(summary["latency"]) <= {"put", "get", "range", "put_many", "get_many"}
 
+    def test_empty_and_single_sample_buckets(self, tmp_path):
+        # Regression: a one-op run leaves most op kinds with empty latency
+        # buckets. Those must appear explicitly with null percentiles (not
+        # a misleading 0.0, not silently absent), must not raise computing
+        # the mean, and the single-sample bucket reports that sample as
+        # every percentile.
+        summary = run_load(
+            LoadGenConfig(
+                clients=1,
+                ops_per_client=1,
+                shards=2,
+                key_space=2000,
+                seed=13,
+            ),
+            root=str(tmp_path / "bench"),
+        )
+        latency = summary["latency"]
+        assert set(latency) == {"put", "get", "range", "put_many", "get_many"}
+        fired = [kind for kind, stats in latency.items() if stats["n"]]
+        assert len(fired) == 1
+        for kind, stats in latency.items():
+            if stats["n"] == 0:
+                assert stats["p50_ns"] is None
+                assert stats["p95_ns"] is None
+                assert stats["p99_ns"] is None
+                assert stats["mean_ns"] is None
+            else:
+                assert stats["n"] == 1
+                assert (
+                    stats["p50_ns"]
+                    == stats["p95_ns"]
+                    == stats["p99_ns"]
+                    == stats["mean_ns"]
+                )
+                assert stats["p50_ns"] > 0
+
+    def test_percentile_helper_edge_cases(self):
+        from repro.net.loadgen import _percentile
+
+        assert _percentile([], 0.50) is None
+        assert _percentile([], 0.99) is None
+        assert _percentile([42], 0.50) == 42.0
+        assert _percentile([42], 0.99) == 42.0
+        assert _percentile([10, 20], 0.99) == 20.0
+
     def test_open_loop_runs_to_completion(self, tmp_path):
         summary = run_load(
             LoadGenConfig(

@@ -262,6 +262,73 @@ class TestRecovery:
             recover_sharded(str(tmp_path / "db"))
 
 
+class TestCrashedSplitRecovery:
+    """A crash between a split's manifest commit and the donor cleanup
+    leaves the donor still holding copies of the moved keys. After
+    recovery every read path — routing, clamped scatter-gather, and the
+    full enumeration — must present each key exactly once, and a further
+    split of the donor must not let the stale copies push its median past
+    the assigned upper bound (which would corrupt the shard map order).
+    """
+
+    def _crash_split(self, tmp_path, n_keys=120, threshold=100):
+        idx = make_sharded(tmp_path, n_shards=1, split_threshold=threshold)
+        real_write = idx._write_manifest
+
+        def write_then_crash():
+            real_write()
+            raise RuntimeError("simulated crash after manifest commit")
+
+        idx._write_manifest = write_then_crash
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            for k in range(n_keys):
+                idx.put(k, k)
+        idx.close()
+        rec, _reports = recover_sharded(str(tmp_path / "db"))
+        return rec
+
+    def test_no_duplicates_after_crash_recovered_split(self, tmp_path):
+        rec = self._crash_split(tmp_path)
+        bounds = [lower for lower, _sid in rec.shard_map()]
+        assert len(bounds) == 2 and bounds[0] is None
+        split_key = bounds[1]
+        full = rec.items()
+        # Keys 0..crash-point went in contiguously before the crash; each
+        # must be present exactly once with its value (no stale copies).
+        assert full == [(k, k) for k in range(len(full))]
+        assert len(full) >= split_key + 1  # both sides of the split are live
+
+        # The satellite's routing case: a query range entirely inside the
+        # -inf edge shard, below the first real split key.
+        edge_only = rec.range_query(0, split_key - 1)
+        assert edge_only == [(k, k) for k in range(split_key)]
+        # And the full scatter-gather agrees with the enumeration.
+        assert rec.range_query(-(1 << 60), 1 << 60) == full
+        # Moved keys route to (and are served by) the new owner only.
+        assert rec.get(split_key) == split_key
+        rec.close()
+
+    def test_followup_split_keeps_shard_map_ordered(self, tmp_path):
+        rec = self._crash_split(tmp_path)
+        split_key = rec.shard_map()[1][0]
+        before = dict(rec.items())
+        # The donor still carries the stale copies internally; its next
+        # split must pick a boundary strictly inside its assigned range
+        # (below split_key), not at/above it.
+        for k in range(120, 140):  # routed to the upper shard; donor keys stay
+            rec.put(k, k)
+        rec.put(-1, -1)  # donor write; its size counter crosses the threshold
+        before[-1] = -1
+        before.update((k, k) for k in range(120, 140))
+        bounds = [lower for lower, _sid in rec.shard_map()]
+        assert bounds[0] is None
+        real = bounds[1:]
+        assert real == sorted(set(real)), f"shard map corrupted: {bounds}"
+        assert real[-1] == split_key and all(b < split_key for b in real[:-1])
+        assert rec.items() == sorted(before.items())
+        rec.close()
+
+
 class TestCommit:
     def test_commit_syncs_only_dirty_shards(self, tmp_path):
         idx = make_sharded(tmp_path, fsync_policy="batch", n_shards=4)
