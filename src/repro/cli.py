@@ -45,7 +45,21 @@ Commands
     (crash restart), verify its invariants, and print the recovery report.
     With ``--sharded`` the argument is a sharded root directory instead:
     every shard is recovered from its own checkpoint + WAL and the
-    per-shard reports are printed.
+    per-shard reports are printed. ``--rebuild-threshold N`` routes WAL
+    tails of N+ records through the offline rebuild fast path.
+``rebuild``
+    Offline index reconstruction: stream compressed key runs out of a
+    checkpoint (+ optional WAL tail), k-way merge them while still
+    delta-encoded, and bulk-load a fresh gapped B+-tree. ``--out`` writes
+    the rebuilt tree as a new checkpoint (atomic tmp + rename).
+``bench-rebuild``
+    Measure checkpoint space amplification (v2 compressed vs v1 raw page
+    format, per SOSD-like family) and rebuild-vs-replay recovery
+    throughput at a long WAL tail; with ``--json`` writes the
+    ``BENCH_rebuild.json`` artifact the CI rebuild-smoke perf gate tracks.
+``bench-space``
+    The space experiment with perf-gate plumbing: ``space_amp_*`` gauges
+    and, with ``--json``, the ``BENCH_space.json`` telemetry artifact.
 ``serve``
     Boot the sharded asyncio index server (``repro.net``): N range
     partitions under one root, each with its own WAL + checkpoints,
@@ -109,6 +123,7 @@ EXPERIMENTS = [
     "kernels",
     "nodes",
     "sosd",
+    "rebuild",
 ]
 
 
@@ -288,6 +303,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample-profile the run and print the per-layer time table",
     )
 
+    brebuild = sub.add_parser(
+        "bench-rebuild",
+        help="checkpoint compression + offline rebuild bench (perf-gate numbers)",
+    )
+    brebuild.add_argument("--n", type=int, default=None, help="checkpointed keys")
+    brebuild.add_argument(
+        "--tail", type=int, default=None, help="WAL tail records (default 100000)"
+    )
+    brebuild.add_argument(
+        "--space-n", type=int, default=None, help="keys per family in the space sweep"
+    )
+    brebuild.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="observe the run and write the BENCH_rebuild.json telemetry artifact",
+    )
+    brebuild.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample-profile the run and print the per-layer time table",
+    )
+
+    bspace = sub.add_parser(
+        "bench-space",
+        help="space utilization bench (space_amp_* gauges, BENCH_space.json)",
+    )
+    bspace.add_argument("--n", type=int, default=None, help="override workload size")
+    bspace.add_argument(
+        "--buffer-fraction", type=float, default=None, help="SA buffer sizing"
+    )
+    bspace.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="observe the run and write the BENCH_space.json telemetry artifact",
+    )
+    bspace.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample-profile the run and print the per-layer time table",
+    )
+
     gate = sub.add_parser(
         "perf-gate", help="compare throughput gauges of two bench artifacts"
     )
@@ -314,6 +374,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--sharded",
         action="store_true",
         help="treat the argument as a sharded root directory (repro.net layout)",
+    )
+    rec.add_argument(
+        "--rebuild-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="WAL tails of >= N records recover via the offline rebuild "
+        "fast path (merge + bulk load) instead of per-op replay",
+    )
+
+    rebuild = sub.add_parser(
+        "rebuild",
+        help="offline index reconstruction: checkpoint + WAL tail -> fresh "
+        "bulk-loaded tree (compressed-key merge)",
+    )
+    rebuild.add_argument("checkpoint", help="checkpoint file written by CheckpointStore")
+    rebuild.add_argument(
+        "--wal", type=str, default=None, metavar="PATH", help="WAL tail to merge in"
+    )
+    rebuild.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the rebuilt tree as a fresh checkpoint here "
+        "(atomic tmp + rename)",
+    )
+    rebuild.add_argument(
+        "--slot-size", type=int, default=None, help="checkpoint slot size (default 4096)"
+    )
+    rebuild.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="write --out in the v1 raw-key page format instead of v2",
     )
 
     serve = sub.add_parser(
@@ -747,7 +841,9 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     slot_size = args.slot_size if args.slot_size is not None else DEFAULT_SLOT_SIZE
     store = CheckpointStore(args.checkpoint, slot_size=slot_size)
     try:
-        index, report = store.recover(wal_path=args.wal)
+        index, report = store.recover(
+            wal_path=args.wal, rebuild_threshold=args.rebuild_threshold
+        )
     except ReproError as exc:
         print(f"recovery failed: {exc}", file=sys.stderr)
         return 1
@@ -756,6 +852,54 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         check()
     print(report.describe())
     return 0
+
+
+def _cmd_rebuild(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.storage.pagefile import DEFAULT_SLOT_SIZE
+    from repro.storage.rebuild import rebuild_index
+
+    slot_size = args.slot_size if args.slot_size is not None else DEFAULT_SLOT_SIZE
+    try:
+        index, report = rebuild_index(
+            args.checkpoint,
+            args.wal,
+            out_path=args.out,
+            slot_size=slot_size,
+            compress=not args.no_compress,
+        )
+    except ReproError as exc:
+        print(f"rebuild failed: {exc}", file=sys.stderr)
+        return 1
+    check = getattr(index.backend, "check_invariants", None)
+    if check is not None:
+        check()
+    print(report.describe())
+    return 0
+
+
+def _cmd_bench_rebuild(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    if args.tail is not None:
+        kwargs["tail"] = args.tail
+    if args.space_n is not None:
+        kwargs["space_n"] = args.space_n
+    return _run_experiment_with_telemetry(
+        "rebuild", kwargs, args.json, profile=args.profile
+    )
+
+
+def _cmd_bench_space(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    if args.buffer_fraction is not None:
+        kwargs["buffer_fraction"] = args.buffer_fraction
+    return _run_experiment_with_telemetry(
+        "space", kwargs, args.json, profile=args.profile
+    )
 
 
 def _recover_sharded_root(root: str) -> int:
@@ -1098,8 +1242,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-kernels": _cmd_bench_kernels,
         "bench-nodes": _cmd_bench_nodes,
         "bench-sosd": _cmd_bench_sosd,
+        "bench-rebuild": _cmd_bench_rebuild,
+        "bench-space": _cmd_bench_space,
         "perf-gate": _cmd_perf_gate,
         "recover": _cmd_recover,
+        "rebuild": _cmd_rebuild,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
         "stats": _cmd_stats,

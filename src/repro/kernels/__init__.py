@@ -86,6 +86,8 @@ __all__ = [
     "count_runs",
     "pla_fit_segments",
     "pla_predict_many",
+    "delta_pack",
+    "delta_unpack",
 ]
 
 _BACKENDS = ("python", "numpy")
@@ -364,3 +366,11 @@ def pla_fit_segments(keys, epsilon):
 
 def pla_predict_many(first_keys, slopes, starts, keys):
     return _impl().pla_predict_many(first_keys, slopes, starts, keys)
+
+
+def delta_pack(keys):
+    return _impl().delta_pack(keys)
+
+
+def delta_unpack(anchor, width, count, packed):
+    return _impl().delta_unpack(anchor, width, count, packed)

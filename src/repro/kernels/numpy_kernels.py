@@ -638,3 +638,48 @@ def pla_predict_many(first_keys, slopes, starts, keys):
     # ``int(slope * float(delta))`` exactly.
     pred = st + (sl * (qs - fk[seg]).astype(np.float64)).astype(np.int64)
     return pred.tolist()
+
+
+# ----------------------------------------------------------------------
+# delta-compressed key columns (compressed leaf pages / rebuild runs)
+# ----------------------------------------------------------------------
+def delta_pack(keys) -> Tuple[int, int, bytes]:
+    n = len(keys)
+    if n < 2:
+        return _py.delta_pack(keys)
+    try:
+        arr = _int_array(keys).astype(np.int64, copy=False)
+    except _FALLBACK_ERRORS:
+        return _py.delta_pack(keys)
+    # Two's-complement reinterpret, then wraparound uint64 differences —
+    # exactly the scalar ``(key - prev) & MASK64`` reduction.
+    unsigned = arr.view(np.uint64)
+    deltas = unsigned[1:] - unsigned[:-1]
+    anchor = int(arr[0])
+    max_delta = int(deltas.max())
+    width = max_delta.bit_length()
+    if width == 0:
+        return anchor, 0, b""
+    shifts = np.arange(width, dtype=np.uint64)
+    bits = ((deltas[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    packed = np.packbits(bits.ravel(), bitorder="little").tobytes()
+    return anchor, width, packed
+
+
+def delta_unpack(anchor: int, width: int, count: int, packed: bytes) -> List[int]:
+    if count <= 0 or width == 0:
+        return _py.delta_unpack(anchor, width, count, packed)
+    if width > 64:
+        return _py.delta_unpack(anchor, width, count, packed)
+    n_deltas = count - 1
+    raw = np.frombuffer(packed, dtype=np.uint8)
+    bits = np.unpackbits(raw, bitorder="little", count=n_deltas * width)
+    bits = bits.reshape(n_deltas, width).astype(np.uint64)
+    shifts = np.arange(width, dtype=np.uint64)
+    deltas = np.bitwise_or.reduce(bits << shifts, axis=1)
+    keys = np.empty(count, dtype=np.uint64)
+    keys[0] = np.uint64(anchor & _MASK64)
+    # uint64 cumsum wraps mod 2**64, matching the scalar reduction.
+    np.cumsum(deltas, dtype=np.uint64, out=keys[1:])
+    keys[1:] += keys[0]
+    return keys.view(np.int64).tolist()

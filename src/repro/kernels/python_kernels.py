@@ -626,3 +626,70 @@ def pla_predict_many(first_keys, slopes, starts, keys):
             seg = 0
         out.append(starts[seg] + int(slopes[seg] * float(key - first_keys[seg])))
     return out
+
+
+# ----------------------------------------------------------------------
+# delta-compressed key columns (compressed leaf pages / rebuild runs)
+# ----------------------------------------------------------------------
+def delta_pack(keys: Sequence[int]) -> Tuple[int, int, bytes]:
+    """Delta-encode an int64 key column: ``(anchor, width, packed)``.
+
+    ``anchor`` is the first key; the remaining ``len(keys) - 1`` keys are
+    stored as successive differences reduced mod 2**64 and bit-packed at a
+    uniform ``width`` (the widest delta's bit length), LSB-first into a
+    little-endian byte string — bit ``j`` of delta ``i`` lands at overall
+    bit position ``i*width + j``, i.e. byte ``(i*width + j) >> 3``, bit
+    ``(i*width + j) & 7``.
+
+    Sorted columns produce small deltas and therefore small widths; the
+    mod-2**64 reduction makes the encoding *correct* for any int64 column
+    (a descending pair wraps to a ~64-bit delta — no compression, never
+    corruption). ``width == 0`` means every key equals the anchor.
+    """
+    n = len(keys)
+    if n == 0:
+        return 0, 0, b""
+    anchor = keys[0]
+    if n == 1:
+        return anchor, 0, b""
+    width = 0
+    deltas: List[int] = []
+    previous = anchor
+    for key in keys[1:]:
+        delta = (key - previous) & _MASK64
+        deltas.append(delta)
+        bits = delta.bit_length()
+        if bits > width:
+            width = bits
+        previous = key
+    if width == 0:
+        return anchor, 0, b""
+    accumulator = 0
+    shift = 0
+    for delta in deltas:
+        accumulator |= delta << shift
+        shift += width
+    return anchor, width, accumulator.to_bytes((shift + 7) // 8, "little")
+
+
+def delta_unpack(anchor: int, width: int, count: int, packed: bytes) -> List[int]:
+    """Inverse of :func:`delta_pack`: the original int64 key column.
+
+    ``count`` is the total number of keys including the anchor. All
+    arithmetic happens in the unsigned mod-2**64 domain and is folded back
+    to signed int64 at the end, matching the encoder's reduction.
+    """
+    if count <= 0:
+        return []
+    if width == 0:
+        return [anchor] * count
+    accumulator = int.from_bytes(packed, "little")
+    mask = (1 << width) - 1
+    keys = [anchor]
+    unsigned = anchor & _MASK64
+    shift = 0
+    for _ in range(count - 1):
+        unsigned = (unsigned + ((accumulator >> shift) & mask)) & _MASK64
+        shift += width
+        keys.append(unsigned - (1 << 64) if unsigned >= (1 << 63) else unsigned)
+    return keys

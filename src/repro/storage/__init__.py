@@ -11,6 +11,14 @@ from repro.storage.costmodel import (
     StopwatchResult,
     stopwatch,
 )
+from repro.storage.compress import (
+    CompressedRun,
+    RunPage,
+    decode_key_block,
+    encode_key_block,
+    merge_compressed_items,
+    merge_compressed_runs,
+)
 from repro.storage.faults import FaultyEnv, FaultyFile, SimulatedCrash
 from repro.storage.pagefile import (
     CheckpointStore,
@@ -18,8 +26,10 @@ from repro.storage.pagefile import (
     PageFileError,
     RecoveryReport,
 )
+from repro.storage.rebuild import RebuildReport, rebuild_index
 from repro.storage.wal import WALReplay, WriteAheadLog, replay_wal
 from repro.storage.pages import (
+    FLAG_COMPRESSED_KEYS,
     PageCorruptionError,
     decode_internal,
     decode_leaf,
@@ -51,6 +61,15 @@ __all__ = [
     "FaultyEnv",
     "FaultyFile",
     "SimulatedCrash",
+    "CompressedRun",
+    "RunPage",
+    "encode_key_block",
+    "decode_key_block",
+    "merge_compressed_items",
+    "merge_compressed_runs",
+    "RebuildReport",
+    "rebuild_index",
+    "FLAG_COMPRESSED_KEYS",
     "PageCorruptionError",
     "decode_internal",
     "decode_leaf",

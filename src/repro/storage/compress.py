@@ -1,0 +1,398 @@
+"""Delta-compressed key runs and merge-on-encoded-runs machinery.
+
+The unit of compression is the **key block**: a sorted int64 key column
+delta-encoded by :func:`repro.kernels.delta_pack` behind a small fixed
+header. The header carries the column's ``count``, ``anchor`` (first key),
+``last`` (last key), and per-block bit ``width``, so a merge can learn a
+block's key *range* without decoding a single delta — that is what lets the
+k-way merge below operate on still-encoded runs and only materialise keys
+at the merge frontiers.
+
+Layered on top:
+
+``RunPage``
+    One compressed page of a sorted run — a key block plus the parallel
+    value column and an optional tombstone column. Keys decode lazily and
+    the decode is cached.
+
+``CompressedRun``
+    An ordered list of ``RunPage`` objects with disjoint, ascending key
+    ranges, tagged with a ``priority`` (higher = newer) used for
+    duplicate-key resolution during merges.
+
+``merge_compressed_items`` / ``merge_compressed_runs``
+    A k-way merge over runs. When the page at a run's cursor ends strictly
+    before every other run's frontier key, the whole page is consumed
+    wholesale — no per-key cross-run comparisons, and in the run→run
+    variant the encoded page is passed through verbatim (no decode, no
+    re-encode). Only overlapping regions pay per-key work.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro import kernels
+
+__all__ = [
+    "KEY_BLOCK_HEADER",
+    "encode_key_block",
+    "decode_key_block",
+    "key_block_stats",
+    "RunPage",
+    "CompressedRun",
+    "merge_compressed_items",
+    "merge_compressed_runs",
+]
+
+#: count:u32 | anchor:s64 | last:s64 | width:u8 — followed by the packed
+#: delta payload of ``(count - 1) * width`` bits, little-endian bit order.
+KEY_BLOCK_HEADER = struct.Struct("<IqqB")
+
+#: Default number of keys per ``RunPage``.
+DEFAULT_PAGE_ITEMS = 512
+
+
+def encode_key_block(keys: Sequence[int]) -> bytes:
+    """Serialize a sorted int64 key column into a self-describing block."""
+    anchor, width, packed = kernels.delta_pack(keys)
+    last = keys[-1] if keys else 0
+    return KEY_BLOCK_HEADER.pack(len(keys), anchor, last, width) + packed
+
+
+def decode_key_block(block: bytes) -> List[int]:
+    """Recover the exact key column from :func:`encode_key_block` output."""
+    count, anchor, _last, width = KEY_BLOCK_HEADER.unpack_from(block)
+    return kernels.delta_unpack(anchor, width, count, block[KEY_BLOCK_HEADER.size :])
+
+
+def key_block_stats(block: bytes) -> Tuple[int, int, int, int]:
+    """``(count, first_key, last_key, width)`` without decoding any deltas."""
+    count, anchor, last, width = KEY_BLOCK_HEADER.unpack_from(block)
+    return count, anchor, last, width
+
+
+class RunPage:
+    """One compressed page of a sorted run.
+
+    ``values[i]`` belongs to the ``i``-th key of the block; ``tombstones``
+    is ``None`` (no deletions) or a tuple of bools parallel to the keys.
+    """
+
+    __slots__ = ("key_block", "values", "tombstones", "_keys")
+
+    def __init__(
+        self,
+        key_block: bytes,
+        values: Sequence[object],
+        tombstones: Optional[Tuple[bool, ...]] = None,
+    ) -> None:
+        self.key_block = key_block
+        self.values = list(values)
+        self.tombstones = tombstones
+        self._keys: Optional[List[int]] = None
+
+    @classmethod
+    def from_items(
+        cls,
+        keys: Sequence[int],
+        values: Sequence[object],
+        tombstones: Optional[Sequence[bool]] = None,
+    ) -> "RunPage":
+        if len(keys) != len(values):
+            raise ValueError("keys and values must be parallel columns")
+        tombs: Optional[Tuple[bool, ...]] = None
+        if tombstones is not None and any(tombstones):
+            tombs = tuple(bool(t) for t in tombstones)
+        page = cls(encode_key_block(keys), values, tombs)
+        page._keys = list(keys)
+        return page
+
+    @property
+    def count(self) -> int:
+        return key_block_stats(self.key_block)[0]
+
+    @property
+    def min_key(self) -> int:
+        return key_block_stats(self.key_block)[1]
+
+    @property
+    def max_key(self) -> int:
+        return key_block_stats(self.key_block)[2]
+
+    def keys(self) -> List[int]:
+        """Decoded key column (cached after the first call)."""
+        if self._keys is None:
+            self._keys = decode_key_block(self.key_block)
+        return self._keys
+
+    def tombstone_at(self, i: int) -> bool:
+        return bool(self.tombstones[i]) if self.tombstones is not None else False
+
+    @property
+    def has_tombstones(self) -> bool:
+        return self.tombstones is not None
+
+    def encoded_bytes(self) -> int:
+        """Size of the compressed key column (header + packed deltas)."""
+        return len(self.key_block)
+
+    def items(self) -> Iterator[Tuple[int, object, bool]]:
+        keys = self.keys()
+        if self.tombstones is None:
+            for i, key in enumerate(keys):
+                yield key, self.values[i], False
+        else:
+            for i, key in enumerate(keys):
+                yield key, self.values[i], self.tombstones[i]
+
+
+@dataclass
+class CompressedRun:
+    """A sorted run of compressed pages with disjoint ascending key ranges."""
+
+    pages: List[RunPage] = field(default_factory=list)
+    priority: int = 0
+
+    @classmethod
+    def from_items(
+        cls,
+        items: Iterable[Tuple[int, object, bool]],
+        *,
+        priority: int = 0,
+        page_items: int = DEFAULT_PAGE_ITEMS,
+    ) -> "CompressedRun":
+        """Build a run from ``(key, value, tombstone)`` triples.
+
+        Keys must be strictly increasing — a run never contains duplicates;
+        the caller deduplicates first (newest wins).
+        """
+        if page_items < 1:
+            raise ValueError("page_items must be >= 1")
+        run = cls(priority=priority)
+        keys: List[int] = []
+        values: List[object] = []
+        tombs: List[bool] = []
+        previous: Optional[int] = None
+        for key, value, tombstone in items:
+            if previous is not None and key <= previous:
+                raise ValueError(
+                    f"run items must be strictly increasing ({key!r} after {previous!r})"
+                )
+            previous = key
+            keys.append(key)
+            values.append(value)
+            tombs.append(bool(tombstone))
+            if len(keys) >= page_items:
+                run.pages.append(RunPage.from_items(keys, values, tombs))
+                keys, values, tombs = [], [], []
+        if keys:
+            run.pages.append(RunPage.from_items(keys, values, tombs))
+        return run
+
+    @property
+    def count(self) -> int:
+        return sum(page.count for page in self.pages)
+
+    @property
+    def min_key(self) -> Optional[int]:
+        return self.pages[0].min_key if self.pages else None
+
+    @property
+    def max_key(self) -> Optional[int]:
+        return self.pages[-1].max_key if self.pages else None
+
+    def encoded_key_bytes(self) -> int:
+        return sum(page.encoded_bytes() for page in self.pages)
+
+    def items(self) -> Iterator[Tuple[int, object, bool]]:
+        for page in self.pages:
+            yield from page.items()
+
+    def check_invariants(self) -> None:
+        previous: Optional[int] = None
+        for page in self.pages:
+            keys = page.keys()
+            if not keys:
+                raise AssertionError("empty RunPage")
+            for key in keys:
+                if previous is not None and key <= previous:
+                    raise AssertionError("run keys not strictly increasing")
+                previous = key
+
+
+class _Cursor:
+    """Read position inside one run during a merge.
+
+    While positioned at the *start* of a page the frontier key comes from
+    the block header (no decode); the page body is only decoded once the
+    merge has to step inside it.
+    """
+
+    __slots__ = ("run", "page_idx", "offset")
+
+    def __init__(self, run: CompressedRun) -> None:
+        self.run = run
+        self.page_idx = 0
+        self.offset = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.page_idx >= len(self.run.pages)
+
+    @property
+    def page(self) -> RunPage:
+        return self.run.pages[self.page_idx]
+
+    def frontier(self) -> int:
+        page = self.page
+        if self.offset == 0:
+            return page.min_key  # header read — no delta decode
+        return page.keys()[self.offset]
+
+    def at_page_start(self) -> bool:
+        return self.offset == 0
+
+    def current(self) -> Tuple[int, object, bool]:
+        page = self.page
+        keys = page.keys()
+        i = self.offset
+        return keys[i], page.values[i], page.tombstone_at(i)
+
+    def advance(self) -> None:
+        self.offset += 1
+        if self.offset >= self.page.count:
+            self.page_idx += 1
+            self.offset = 0
+
+    def skip_page(self) -> RunPage:
+        page = self.page
+        self.page_idx += 1
+        self.offset = 0
+        return page
+
+
+#: Merge event tags — a wholesale encoded page vs. a single decoded item.
+_PAGE = 0
+_ITEM = 1
+
+
+def _merge_events(runs: Sequence[CompressedRun]) -> Iterator[Tuple[int, object]]:
+    """K-way merge yielding ``(_PAGE, RunPage)`` or ``(_ITEM, (k, v, tomb))``.
+
+    Duplicate keys resolve to the highest-``priority`` run (ties broken by
+    run order, later wins). A page is emitted wholesale only when its whole
+    key range lies strictly below every other run's frontier, so wholesale
+    pages never require duplicate resolution. When only a *prefix* of the
+    winning page lies below the other frontiers, that prefix gallops out in
+    one bisect-bounded slice — every key in it is strictly below every
+    other run's next key, so no per-item minimum is needed.
+    """
+    cursors = [_Cursor(run) for run in runs if run.pages]
+    while cursors:
+        cursors = [c for c in cursors if not c.exhausted]
+        if not cursors:
+            break
+        best = min(c.frontier() for c in cursors)
+        tied = [c for c in cursors if c.frontier() == best]
+        winner = max(tied, key=lambda c: c.run.priority)
+        if len(tied) == 1:
+            page = winner.page
+            others = [c.frontier() for c in cursors if c is not winner]
+            bound = min(others) if others else None
+            if winner.at_page_start() and (bound is None or page.max_key < bound):
+                yield _PAGE, winner.skip_page()
+                continue
+            i = winner.offset
+            keys = page.keys()
+            j = page.count if bound is None else bisect_left(keys, bound, i)
+            if j > i + 1:
+                values = page.values
+                tombs = page.tombstones
+                if tombs is None:
+                    for idx in range(i, j):
+                        yield _ITEM, (keys[idx], values[idx], False)
+                else:
+                    for idx in range(i, j):
+                        yield _ITEM, (keys[idx], values[idx], bool(tombs[idx]))
+                winner.offset = j
+                if j >= page.count:
+                    winner.page_idx += 1
+                    winner.offset = 0
+                continue
+        yield _ITEM, winner.current()
+        for cursor in tied:
+            cursor.advance()
+
+
+def merge_compressed_items(
+    runs: Sequence[CompressedRun],
+    *,
+    drop_tombstones: bool = False,
+) -> Iterator[Tuple[int, object, bool]]:
+    """Merged ``(key, value, tombstone)`` stream, strictly increasing keys.
+
+    With ``drop_tombstones`` (full-merge semantics) deleted keys vanish
+    from the output entirely; otherwise tombstones are carried through for
+    a later merge to apply.
+    """
+    for tag, payload in _merge_events(runs):
+        if tag == _PAGE:
+            page = payload
+            if drop_tombstones and page.has_tombstones:
+                for item in page.items():
+                    if not item[2]:
+                        yield item
+            else:
+                yield from page.items()
+        else:
+            if drop_tombstones and payload[2]:
+                continue
+            yield payload
+
+
+def merge_compressed_runs(
+    runs: Sequence[CompressedRun],
+    *,
+    priority: int = 0,
+    page_items: int = DEFAULT_PAGE_ITEMS,
+    drop_tombstones: bool = False,
+) -> CompressedRun:
+    """Merge runs into one new :class:`CompressedRun`.
+
+    Non-overlapping pages pass through *verbatim* — the encoded key block
+    is reused without decode or re-encode — whenever no partial output
+    page is pending and the page needs no tombstone filtering. Everything
+    else is re-paged at ``page_items``.
+    """
+    out = CompressedRun(priority=priority)
+    keys: List[int] = []
+    values: List[object] = []
+    tombs: List[bool] = []
+
+    def flush() -> None:
+        if keys:
+            out.pages.append(RunPage.from_items(keys, values, tombs))
+            keys.clear()
+            values.clear()
+            tombs.clear()
+
+    for tag, payload in _merge_events(runs):
+        if tag == _PAGE and not keys and not (drop_tombstones and payload.has_tombstones):
+            out.pages.append(payload)  # verbatim pass-through, still encoded
+            continue
+        items: Iterable[Tuple[int, object, bool]]
+        items = payload.items() if tag == _PAGE else (payload,)
+        for key, value, tombstone in items:
+            if drop_tombstones and tombstone:
+                continue
+            keys.append(key)
+            values.append(value)
+            tombs.append(tombstone)
+            if len(keys) >= page_items:
+                flush()
+    flush()
+    return out

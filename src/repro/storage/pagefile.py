@@ -183,6 +183,7 @@ class RecoveryReport:
     wal_torn_tail: bool = False
     entries: int = 0  #: live entries in the recovered index
     stale_tmp_removed: bool = False
+    rebuilt: bool = False  #: recovery used the bulk-rebuild fast path
 
     def describe(self) -> str:
         if self.checkpoint_found:
@@ -192,7 +193,8 @@ class RecoveryReport:
         lines = [
             f"checkpoint : {found}",
             f"wal replay : {self.wal_records_replayed} records"
-            + (" (torn tail truncated)" if self.wal_torn_tail else ""),
+            + (" (torn tail truncated)" if self.wal_torn_tail else "")
+            + (" (merged via rebuild fast path)" if self.rebuilt else ""),
             f"entries    : {self.entries}",
         ]
         if self.stale_tmp_removed:
@@ -221,9 +223,11 @@ class CheckpointStore:
         slot_size: int = DEFAULT_SLOT_SIZE,
         opener: Callable = open,
         replace: Optional[Callable] = None,
+        compress: bool = True,
     ):
         self.path = path
         self.slot_size = slot_size
+        self.compress = compress
         self._opener = opener
         self._replace = replace if replace is not None else os.replace
         self._epoch: Optional[int] = None  # last epoch written/read
@@ -269,7 +273,7 @@ class CheckpointStore:
                 f"{type(tree).__name__} has no page-serializable node "
                 "structure; checkpointing supports B+-tree backends only"
             )
-        blob = serialize_btree(tree)
+        blob = serialize_btree(tree, compress=self.compress)
         epoch = self._next_epoch()
         tmp = self.tmp_path
         if os.path.exists(tmp):
@@ -283,6 +287,10 @@ class CheckpointStore:
                 "config": blob["config"],
                 "chains": dict(pagefile._chains),
                 "epoch": epoch,
+                # v1 = raw key columns, v2 = delta-compressed where smaller.
+                # Pages self-describe via their flags byte, so loaders never
+                # branch on this — it is metadata for reporting/rebuild.
+                "page_format": 2 if self.compress else 1,
             }
             dir_payload = pickle.dumps(directory, protocol=pickle.HIGHEST_PROTOCOL)
             dir_offset = pagefile.n_slots * self.slot_size
@@ -366,8 +374,14 @@ class CheckpointStore:
             raise PageFileError("checkpoint directory malformed")
         return directory, epoch
 
-    def load_btree(self):
-        """Restore the checkpointed B+-tree from the newest valid footer."""
+    def load_pages(self):
+        """``(directory, epoch, pages)`` of the newest valid checkpoint.
+
+        ``pages`` maps logical page id → raw page bytes **still encoded**
+        (compressed key columns are not expanded). This is the shared read
+        path for :meth:`load_btree` and the rebuild pipeline's run
+        streamer.
+        """
         pagefile = PageFile(self.path, self.slot_size, opener=self._opener)
         try:
             directory, epoch = self._read_footer(
@@ -376,17 +390,22 @@ class CheckpointStore:
             chains = directory["chains"]
             pagefile._chains = dict(chains)
             pages = {page_id: pagefile.read_page(page_id) for page_id in chains}
-            blob = {
-                "root": directory["root"],
-                "config": directory["config"],
-                "pages": pages,
-            }
-            tree = deserialize_btree(blob)
-            tree.check_invariants()
-            self._epoch = epoch
-            return tree
+            return directory, epoch, pages
         finally:
             pagefile.close()
+
+    def load_btree(self):
+        """Restore the checkpointed B+-tree from the newest valid footer."""
+        directory, epoch, pages = self.load_pages()
+        blob = {
+            "root": directory["root"],
+            "config": directory["config"],
+            "pages": pages,
+        }
+        tree = deserialize_btree(blob)
+        tree.check_invariants()
+        self._epoch = epoch
+        return tree
 
     # -- index-level helpers --------------------------------------------------
     def save_index(self, index) -> int:
@@ -416,6 +435,7 @@ class CheckpointStore:
         config=None,
         meter=None,
         backend_factory: Optional[Callable] = None,
+        rebuild_threshold: Optional[int] = None,
     ):
         """Rebuild an index from the newest checkpoint plus the WAL tail.
 
@@ -429,6 +449,14 @@ class CheckpointStore:
            normal write path (idempotent upserts/deletes, so a WAL that
            overlaps the checkpoint re-applies harmlessly).
 
+        With ``rebuild_threshold`` set, a WAL tail of at least that many
+        records (alongside an existing checkpoint) switches to the offline
+        rebuild fast path instead: merge the checkpoint's compressed key
+        runs with the sorted WAL tail and bulk-load a fresh tree
+        (:func:`repro.storage.rebuild.rebuild_index`), which is far faster
+        than per-op replay on long tails. The recovered state is identical
+        either way.
+
         The returned index has **no WAL attached**; the caller reopens the
         log (which truncates its torn tail) and assigns ``index.wal`` to
         resume durable operation.
@@ -440,6 +468,39 @@ class CheckpointStore:
         if os.path.exists(self.tmp_path):
             os.unlink(self.tmp_path)
             report.stale_tmp_removed = True
+        if (
+            rebuild_threshold is not None
+            and wal_path is not None
+            and os.path.exists(self.path)
+            and os.path.exists(wal_path)
+        ):
+            replay = replay_wal(wal_path, opener=self._opener)
+            if replay.records >= rebuild_threshold:
+                from repro.storage.rebuild import rebuild_index
+
+                with obs.span("recovery.rebuild") as span:
+                    index, rebuild_report = rebuild_index(
+                        self.path,
+                        wal_path,
+                        slot_size=self.slot_size,
+                        config=config,
+                        meter=meter,
+                        opener=self._opener,
+                        replace=self._replace,
+                    )
+                    span.set(
+                        records=replay.records,
+                        entries=rebuild_report.entries,
+                    )
+                report.checkpoint_found = True
+                report.checkpoint_epoch = rebuild_report.checkpoint_epoch
+                report.checkpoint_pages = rebuild_report.checkpoint_pages
+                report.wal_records_replayed = replay.records
+                report.wal_torn_tail = replay.torn_tail
+                report.entries = rebuild_report.entries
+                report.rebuilt = True
+                self._epoch = rebuild_report.checkpoint_epoch
+                return index, report
         with obs.span("recovery.load_checkpoint") as span:
             if os.path.exists(self.path):
                 index = self.load_index(config=config, meter=meter)

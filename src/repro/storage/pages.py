@@ -11,10 +11,21 @@ Layout (all little-endian)::
 
     magic   u16   0x5A7E ("SWARE"-ish)
     kind    u8    1=leaf, 2=internal, 3=run
-    flags   u8    reserved
+    flags   u8    bit 0 = delta-compressed key column (format v2)
+                  bit 1 = delta-compressed all-int64 value column
     count   u32   number of entries / separators
     crc     u32   CRC32 of everything after the header
     body    ...   kind-specific
+
+Flags=0 is the original (v1) format; every v1 page written by older
+checkpoints decodes unchanged. When ``FLAG_COMPRESSED_KEYS`` is set the
+key column is a self-describing delta block (see
+:mod:`repro.storage.compress`) instead of ``count`` raw ``<q`` words —
+chosen per page, and only when it is actually smaller. The same block
+format doubles for the value column (``FLAG_COMPRESSED_VALUES``) when
+every value on the page is a plain int64: wrapped deltas round-trip any
+int64 sequence exactly, sorted or not, so the value column needs no
+sortedness — only the guarantee that it shrank versus the pickle.
 """
 
 from __future__ import annotations
@@ -25,11 +36,26 @@ import zlib
 from typing import List, Tuple
 
 from repro.errors import ReproError
+from repro.storage.compress import (
+    KEY_BLOCK_HEADER,
+    decode_key_block,
+    encode_key_block,
+    key_block_stats,
+)
 
 MAGIC = 0x5A7E
 KIND_LEAF = 1
 KIND_INTERNAL = 2
 KIND_RUN = 3
+
+#: flags bit 0: key column is a delta-compressed block, not raw ``<q`` words.
+FLAG_COMPRESSED_KEYS = 0x01
+#: flags bit 1: value column is a delta-compressed block, not a pickle —
+#: only ever set when every value on the page is a plain (non-bool) int64.
+FLAG_COMPRESSED_VALUES = 0x02
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
 
 _HEADER = struct.Struct("<HBBII")
 
@@ -38,15 +64,15 @@ class PageCorruptionError(ReproError):
     """A page failed its checksum or structural validation on load."""
 
 
-def _pack(kind: int, count: int, body: bytes) -> bytes:
+def _pack(kind: int, count: int, body: bytes, flags: int = 0) -> bytes:
     crc = zlib.crc32(body) & 0xFFFFFFFF
-    return _HEADER.pack(MAGIC, kind, 0, count, crc) + body
+    return _HEADER.pack(MAGIC, kind, flags, count, crc) + body
 
 
-def _unpack(data: bytes, expected_kind: int) -> Tuple[int, bytes]:
+def _unpack(data: bytes, expected_kind: int) -> Tuple[int, int, bytes]:
     if len(data) < _HEADER.size:
         raise PageCorruptionError("page shorter than header")
-    magic, kind, _flags, count, crc = _HEADER.unpack_from(data)
+    magic, kind, flags, count, crc = _HEADER.unpack_from(data)
     if magic != MAGIC:
         raise PageCorruptionError(f"bad magic 0x{magic:04X}")
     if kind != expected_kind:
@@ -54,7 +80,72 @@ def _unpack(data: bytes, expected_kind: int) -> Tuple[int, bytes]:
     body = data[_HEADER.size :]
     if zlib.crc32(body) & 0xFFFFFFFF != crc:
         raise PageCorruptionError("checksum mismatch")
-    return count, body
+    return count, flags, body
+
+
+def _encode_keys(keys: List[int], compress: bool) -> Tuple[bytes, int]:
+    """Key column bytes + flags: compressed only when it actually shrinks.
+
+    The decision is deterministic in the keys alone (both kernel backends
+    produce bit-identical blocks), so a checkpoint's bytes do not depend on
+    which backend wrote it.
+    """
+    raw_bytes = 8 * len(keys)
+    if compress and len(keys) >= 2:
+        block = encode_key_block(keys)
+        if len(block) < raw_bytes:
+            return block, FLAG_COMPRESSED_KEYS
+    return (struct.pack(f"<{len(keys)}q", *keys) if keys else b""), 0
+
+
+def _decode_keys(body: bytes, count: int, flags: int) -> Tuple[List[int], int]:
+    """Decode the key column; returns ``(keys, bytes_consumed)``."""
+    if flags & FLAG_COMPRESSED_KEYS:
+        if len(body) < KEY_BLOCK_HEADER.size:
+            raise PageCorruptionError("compressed key block truncated")
+        blk_count, _first, _last, width = key_block_stats(body)
+        if blk_count != count:
+            raise PageCorruptionError("compressed key count mismatch")
+        n_deltas = max(count - 1, 0)
+        used = KEY_BLOCK_HEADER.size + (n_deltas * width + 7) // 8
+        if len(body) < used:
+            raise PageCorruptionError("compressed key block truncated")
+        return decode_key_block(body[:used]), used
+    key_bytes = count * 8
+    if len(body) < key_bytes:
+        raise PageCorruptionError("key column truncated")
+    keys = list(struct.unpack(f"<{count}q", body[:key_bytes])) if count else []
+    return keys, key_bytes
+
+
+def _encode_values(values: List[object], compress: bool) -> Tuple[bytes, int]:
+    """Value column bytes + flags: a delta block when that beats the pickle.
+
+    ``bool`` is excluded (``type(v) is int``) — a delta block would decode
+    ``True`` back as ``1``, silently changing the value's type.
+    """
+    blob = pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+    if (
+        compress
+        and len(values) >= 2
+        and all(type(v) is int and _I64_MIN <= v <= _I64_MAX for v in values)
+    ):
+        block = encode_key_block(values)
+        if len(block) < len(blob):
+            return block, FLAG_COMPRESSED_VALUES
+    return blob, 0
+
+
+def _decode_values(blob: bytes, count: int, flags: int, what: str) -> List[object]:
+    if flags & FLAG_COMPRESSED_VALUES:
+        if len(blob) < KEY_BLOCK_HEADER.size:
+            raise PageCorruptionError(f"compressed {what} value block truncated")
+        values: List[object] = decode_key_block(blob)
+    else:
+        values = pickle.loads(blob)
+    if len(values) != count:
+        raise PageCorruptionError(f"{what} value count mismatch")
+    return values
 
 
 def page_kind(data: bytes) -> int:
@@ -67,25 +158,23 @@ def page_kind(data: bytes) -> int:
     return kind
 
 
-def encode_leaf(keys: List[int], values: List[object]) -> bytes:
-    """Serialize a leaf page: packed keys + pickled value array."""
+def encode_leaf(keys: List[int], values: List[object], *, compress: bool = False) -> bytes:
+    """Serialize a leaf page: key column + pickled value array.
+
+    With ``compress`` the key column is delta-encoded when that is smaller
+    than the raw packing (v2 pages, ``FLAG_COMPRESSED_KEYS``).
+    """
     if len(keys) != len(values):
         raise ValueError("keys/values length mismatch")
-    key_block = struct.pack(f"<{len(keys)}q", *keys) if keys else b""
-    value_block = pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
-    body = key_block + value_block
-    return _pack(KIND_LEAF, len(keys), body)
+    key_block, key_flags = _encode_keys(keys, compress)
+    value_block, value_flags = _encode_values(values, compress)
+    return _pack(KIND_LEAF, len(keys), key_block + value_block, key_flags | value_flags)
 
 
 def decode_leaf(data: bytes) -> Tuple[List[int], List[object]]:
-    count, body = _unpack(data, KIND_LEAF)
-    key_bytes = count * 8
-    if len(body) < key_bytes:
-        raise PageCorruptionError("leaf body truncated")
-    keys = list(struct.unpack(f"<{count}q", body[:key_bytes])) if count else []
-    values = pickle.loads(body[key_bytes:])
-    if len(values) != count:
-        raise PageCorruptionError("leaf value count mismatch")
+    count, flags, body = _unpack(data, KIND_LEAF)
+    keys, used = _decode_keys(body, count, flags)
+    values = _decode_values(body[used:], count, flags, "leaf")
     return keys, values
 
 
@@ -99,7 +188,7 @@ def encode_internal(keys: List[int], child_page_ids: List[int]) -> bytes:
 
 
 def decode_internal(data: bytes) -> Tuple[List[int], List[int]]:
-    count, body = _unpack(data, KIND_INTERNAL)
+    count, _flags, body = _unpack(data, KIND_INTERNAL)
     need = count * 8 + (count + 1) * 8
     if len(body) != need:
         raise PageCorruptionError("internal body size mismatch")
@@ -108,37 +197,70 @@ def decode_internal(data: bytes) -> Tuple[List[int], List[int]]:
     return keys, children
 
 
-def encode_run(entries: List[Tuple[int, int, object, bool]]) -> bytes:
-    """Serialize an LSM run: (key, seq, tombstone) columns + values."""
-    keys = struct.pack(f"<{len(entries)}q", *(e[0] for e in entries)) if entries else b""
+def encode_run(
+    entries: List[Tuple[int, int, object, bool]], *, compress: bool = False
+) -> bytes:
+    """Serialize an LSM run: (key, seq, tombstone) columns + values.
+
+    With ``compress`` the sorted key column is delta-encoded (seqs stay
+    raw — they are not sorted, so deltas would not shrink them).
+    """
+    ekeys = [e[0] for e in entries]
+    key_block, key_flags = _encode_keys(ekeys, compress)
     seqs = struct.pack(f"<{len(entries)}q", *(e[1] for e in entries)) if entries else b""
     tombs = bytes(1 if e[3] else 0 for e in entries)
-    values = pickle.dumps([e[2] for e in entries], protocol=pickle.HIGHEST_PROTOCOL)
-    return _pack(KIND_RUN, len(entries), keys + seqs + tombs + values)
+    values, value_flags = _encode_values([e[2] for e in entries], compress)
+    return _pack(
+        KIND_RUN, len(entries), key_block + seqs + tombs + values,
+        key_flags | value_flags,
+    )
 
 
 def decode_run(data: bytes) -> List[Tuple[int, int, object, bool]]:
-    count, body = _unpack(data, KIND_RUN)
-    fixed = count * 8 * 2 + count
+    count, flags, body = _unpack(data, KIND_RUN)
+    keys, used = _decode_keys(body, count, flags)
+    fixed = used + count * 8 + count
     if len(body) < fixed:
         raise PageCorruptionError("run body truncated")
-    keys = struct.unpack(f"<{count}q", body[: count * 8]) if count else ()
-    seqs = struct.unpack(f"<{count}q", body[count * 8 : count * 16]) if count else ()
-    tombs = body[count * 16 : count * 16 + count]
-    values = pickle.loads(body[fixed:])
-    if len(values) != count:
-        raise PageCorruptionError("run value count mismatch")
+    seqs = struct.unpack(f"<{count}q", body[used : used + count * 8]) if count else ()
+    tombs = body[used + count * 8 : used + count * 8 + count]
+    values = _decode_values(body[fixed:], count, flags, "run")
     return [
         (keys[i], seqs[i], values[i], bool(tombs[i])) for i in range(count)
     ]
 
 
-def serialize_btree(tree) -> dict:
+def leaf_columns(data: bytes) -> Tuple[int, int, bytes, List[object]]:
+    """``(count, flags, key_column, values)`` of a leaf page.
+
+    Unlike :func:`decode_leaf` the key column is returned **still encoded**
+    (a delta block for v2 pages, raw ``<q`` words for v1) — this is the
+    entry point for the rebuild pipeline, which merges runs without
+    decoding keys that never reach a merge frontier.
+    """
+    count, flags, body = _unpack(data, KIND_LEAF)
+    if flags & FLAG_COMPRESSED_KEYS:
+        if len(body) < KEY_BLOCK_HEADER.size:
+            raise PageCorruptionError("compressed key block truncated")
+        blk_count, _first, _last, width = key_block_stats(body)
+        if blk_count != count:
+            raise PageCorruptionError("compressed key count mismatch")
+        used = KEY_BLOCK_HEADER.size + (max(count - 1, 0) * width + 7) // 8
+    else:
+        used = count * 8
+    if len(body) < used:
+        raise PageCorruptionError("key column truncated")
+    values = _decode_values(body[used:], count, flags, "leaf")
+    return count, flags, body[:used], values
+
+
+def serialize_btree(tree, *, compress: bool = False) -> dict:
     """Serialize a whole B+-tree into a page-id -> bytes dict + metadata.
 
     A companion to :func:`deserialize_btree`; the result is what a real
     engine would hand to its pager, and round-tripping through it is tested
-    to preserve the logical contents exactly.
+    to preserve the logical contents exactly. ``compress`` delta-encodes
+    leaf key columns (v2 pages) where that shrinks them.
     """
     pages: dict = {}
     if tree._root is None:
@@ -146,7 +268,7 @@ def serialize_btree(tree) -> dict:
 
     def visit(node) -> int:
         if node.is_leaf:
-            pages[node.page_id] = encode_leaf(node.keys, node.values)
+            pages[node.page_id] = encode_leaf(node.keys, node.values, compress=compress)
         else:
             child_ids = [visit(child) for child in node.children]
             pages[node.page_id] = encode_internal(node.keys, child_ids)

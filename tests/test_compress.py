@@ -1,0 +1,328 @@
+"""Round-trip and merge properties of the compressed key machinery.
+
+The delta kernels, key blocks, and v2 page format all rest on one claim:
+encode→decode is *exact* for any int64 column (sortedness affects only the
+compression ratio), and both kernel backends produce byte-identical
+encodings. These properties pin that claim — including the gapped layout's
+sentinel key (``GAP_SENTINEL`` = INT64_MAX) and demotion-adjacent edge
+values — plus encode→decode→encode stability and the merge-on-encoded-runs
+semantics (duplicate resolution by priority, tombstone handling,
+whole-page pass-through).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernels
+from repro.storage.compress import (
+    KEY_BLOCK_HEADER,
+    CompressedRun,
+    RunPage,
+    decode_key_block,
+    encode_key_block,
+    key_block_stats,
+    merge_compressed_items,
+    merge_compressed_runs,
+)
+from repro.storage.pages import (
+    FLAG_COMPRESSED_KEYS,
+    FLAG_COMPRESSED_VALUES,
+    decode_leaf,
+    decode_run,
+    encode_leaf,
+    encode_run,
+    leaf_columns,
+)
+
+HAS_NUMPY = kernels.numpy_available()
+requires_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not importable")
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+i64 = st.integers(min_value=INT64_MIN, max_value=INT64_MAX)
+#: Gapped-layout edges: the sentinel itself, demotion neighbours, zero span.
+i64_edges = st.sampled_from(
+    [0, 1, -1, INT64_MAX, INT64_MIN, kernels.GAP_SENTINEL, kernels.GAP_SENTINEL - 1]
+)
+any_keys_st = st.lists(i64 | i64_edges, max_size=120)
+sorted_keys_st = any_keys_st.map(sorted)
+
+
+def _both(fn, *args):
+    with kernels.use_backend("python"):
+        py = fn(*args)
+    with kernels.use_backend("numpy"):
+        np_res = fn(*args)
+    return py, np_res
+
+
+# ----------------------------------------------------------------------
+# delta kernels
+# ----------------------------------------------------------------------
+class TestDeltaKernels:
+    @given(keys=sorted_keys_st)
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_python(self, keys):
+        with kernels.use_backend("python"):
+            anchor, width, packed = kernels.delta_pack(keys)
+            assert kernels.delta_unpack(anchor, width, len(keys), packed) == keys
+
+    @given(keys=any_keys_st)
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_any_order(self, keys):
+        """Unsorted columns round-trip too — wrap-around deltas never corrupt."""
+        with kernels.use_backend("python"):
+            anchor, width, packed = kernels.delta_pack(keys)
+            assert kernels.delta_unpack(anchor, width, len(keys), packed) == keys
+
+    @requires_numpy
+    @given(keys=any_keys_st)
+    @settings(max_examples=80, deadline=None)
+    def test_backends_bit_identical(self, keys):
+        py, np_res = _both(kernels.delta_pack, keys)
+        assert py == np_res
+        anchor, width, packed = py
+        py_dec, np_dec = _both(
+            kernels.delta_unpack, anchor, width, len(keys), packed
+        )
+        assert py_dec == np_dec == keys
+
+    @given(keys=sorted_keys_st)
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_encode_stable(self, keys):
+        anchor, width, packed = kernels.delta_pack(keys)
+        decoded = kernels.delta_unpack(anchor, width, len(keys), packed)
+        assert kernels.delta_pack(decoded) == (anchor, width, packed)
+
+    def test_width_zero_means_constant_column(self):
+        anchor, width, packed = kernels.delta_pack([42, 42, 42])
+        assert (width, packed) == (0, b"")
+        assert kernels.delta_unpack(anchor, 0, 3, b"") == [42, 42, 42]
+
+    def test_sentinel_column(self):
+        keys = [kernels.GAP_SENTINEL] * 5
+        anchor, width, packed = kernels.delta_pack(keys)
+        assert kernels.delta_unpack(anchor, width, 5, packed) == keys
+
+    def test_full_span_pair(self):
+        for keys in ([INT64_MIN, INT64_MAX], [INT64_MAX, INT64_MIN]):
+            anchor, width, packed = kernels.delta_pack(keys)
+            assert kernels.delta_unpack(anchor, width, 2, packed) == keys
+
+
+# ----------------------------------------------------------------------
+# key blocks
+# ----------------------------------------------------------------------
+class TestKeyBlocks:
+    @given(keys=sorted_keys_st)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_and_stats(self, keys):
+        block = encode_key_block(keys)
+        assert decode_key_block(block) == keys
+        count, first, last, _width = key_block_stats(block)
+        assert count == len(keys)
+        if keys:
+            assert (first, last) == (keys[0], keys[-1])
+
+    def test_small_deltas_compress(self):
+        keys = list(range(1_000_000, 1_000_000 + 512))
+        block = encode_key_block(keys)
+        assert len(block) < 8 * len(keys) / 4  # width 1: far below raw
+
+    @requires_numpy
+    @given(keys=sorted_keys_st)
+    @settings(max_examples=40, deadline=None)
+    def test_blocks_backend_identical(self, keys):
+        py, np_res = _both(encode_key_block, keys)
+        assert py == np_res
+
+
+# ----------------------------------------------------------------------
+# v2 page format
+# ----------------------------------------------------------------------
+class TestCompressedPages:
+    @given(keys=st.lists(i64 | i64_edges, max_size=100, unique=True).map(sorted))
+    @settings(max_examples=60, deadline=None)
+    def test_leaf_roundtrip_both_formats(self, keys):
+        values = [key * 2 + 1 for key in keys]
+        v1 = encode_leaf(keys, values, compress=False)
+        v2 = encode_leaf(keys, values, compress=True)
+        assert decode_leaf(v1) == (keys, values)
+        assert decode_leaf(v2) == (keys, values)
+
+    def test_compression_only_when_smaller(self):
+        # Dense near-sorted keys: the compressed block must win and the
+        # flag must say so.
+        keys = list(range(0, 256, 2))
+        values = [0] * len(keys)
+        v2 = encode_leaf(keys, values, compress=True)
+        count, flags, key_column, _values = leaf_columns(v2)
+        assert flags & FLAG_COMPRESSED_KEYS
+        assert count == len(keys)
+        assert decode_key_block(key_column) == keys
+        assert len(key_column) < 8 * len(keys)
+        # A 1-key page can never shrink: stays raw even with compress=True.
+        v_small = encode_leaf([7], [0], compress=True)
+        _count, flags_small, _kc, _v = leaf_columns(v_small)
+        assert not flags_small & FLAG_COMPRESSED_KEYS
+
+    def test_old_pages_decode_unchanged(self):
+        """flags=0 pages (pre-v2 checkpoints) are byte-compatible."""
+        keys = [1, 5, 9]
+        values = ["a", "b", "c"]
+        legacy = encode_leaf(keys, values)  # default: no compression
+        assert decode_leaf(legacy) == (keys, values)
+        _count, flags, _kc, _v = leaf_columns(legacy)
+        assert flags == 0
+
+    @given(
+        entries=st.lists(
+            st.tuples(i64, st.integers(min_value=0, max_value=2**31), st.booleans()),
+            max_size=60,
+            unique_by=lambda e: e[0],
+        ).map(lambda es: sorted(es, key=lambda e: e[0]))
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_run_roundtrip(self, entries):
+        full = [(k, seq, f"v{k}", tomb) for k, seq, tomb in entries]
+        for compress in (False, True):
+            data = encode_run(full, compress=compress)
+            assert decode_run(data) == full
+
+    @given(values=st.lists(i64 | i64_edges, min_size=2, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_int_value_column_roundtrip(self, values):
+        """All-int64 value columns may delta-pack (any order); round-trip
+        is exact either way."""
+        keys = list(range(len(values)))
+        page = encode_leaf(keys, values, compress=True)
+        assert decode_leaf(page) == (keys, values)
+        entries = [(k, k, v, False) for k, v in zip(keys, values)]
+        assert decode_run(encode_run(entries, compress=True)) == entries
+
+    def test_int_values_compress_when_smaller(self):
+        keys = list(range(200))
+        values = [k * 2 + 1 for k in keys]
+        page = encode_leaf(keys, values, compress=True)
+        _count, flags, _kc, vals = leaf_columns(page)
+        assert flags & FLAG_COMPRESSED_VALUES
+        assert vals == values
+        raw = encode_leaf(keys, values, compress=False)
+        assert len(page) < len(raw) / 4
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [True, False] * 50,  # bool is not int: type must survive
+            ["a"] * 100,
+            [None] * 100,
+            [0] * 99 + [2**63],  # one value out of int64 range
+            [1.5] * 100,
+        ],
+    )
+    def test_non_i64_values_stay_pickled(self, values):
+        keys = list(range(len(values)))
+        page = encode_leaf(keys, values, compress=True)
+        _count, flags, _kc, vals = leaf_columns(page)
+        assert not flags & FLAG_COMPRESSED_VALUES
+        assert vals == values
+        assert all(type(a) is type(b) for a, b in zip(vals, values))
+
+    @requires_numpy
+    def test_page_bytes_backend_identical(self):
+        keys = list(range(10_000, 10_000 + 300, 3))
+        values = [0] * len(keys)
+        py, np_res = _both(lambda: encode_leaf(keys, values, compress=True))
+        assert py == np_res
+
+
+# ----------------------------------------------------------------------
+# merge on encoded runs
+# ----------------------------------------------------------------------
+def _run_from(pairs, priority, page_items=16):
+    return CompressedRun.from_items(
+        ((k, v, t) for k, v, t in pairs), priority=priority, page_items=page_items
+    )
+
+
+class TestMerge:
+    def test_priority_wins_on_duplicates(self):
+        old = _run_from([(k, f"old{k}", False) for k in range(0, 100, 2)], 0)
+        new = _run_from([(k, f"new{k}", False) for k in range(0, 100, 4)], 1)
+        merged = dict(
+            (k, v) for k, v, _t in merge_compressed_items([old, new])
+        )
+        for k in range(0, 100, 2):
+            assert merged[k] == (f"new{k}" if k % 4 == 0 else f"old{k}")
+
+    def test_tombstones_drop_or_carry(self):
+        base = _run_from([(k, k, False) for k in range(10)], 0)
+        deletes = _run_from([(3, None, True), (7, None, True)], 1)
+        dropped = list(merge_compressed_items([base, deletes], drop_tombstones=True))
+        assert [k for k, _v, _t in dropped] == [0, 1, 2, 4, 5, 6, 8, 9]
+        carried = list(merge_compressed_items([base, deletes]))
+        assert [(k, t) for k, _v, t in carried if t] == [(3, True), (7, True)]
+
+    def test_disjoint_pages_pass_through_encoded(self):
+        a = _run_from([(k, k, False) for k in range(0, 64)], 0, page_items=16)
+        b = _run_from([(k, k, False) for k in range(64, 128)], 1, page_items=16)
+        merged = merge_compressed_runs([a, b], page_items=16)
+        merged.check_invariants()
+        source_pages = a.pages + b.pages
+        assert all(
+            any(page is src for src in source_pages) for page in merged.pages
+        )
+        assert [k for k, _v, _t in merged.items()] == list(range(128))
+
+    @given(
+        columns=st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=400),
+                    st.booleans(),
+                ),
+                max_size=60,
+                unique_by=lambda e: e[0],
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_matches_dict_semantics(self, columns):
+        """N runs, newest-wins: the merge equals a last-writer dict overlay."""
+        runs = []
+        expected = {}
+        for priority, column in enumerate(columns):
+            column = sorted(column)
+            runs.append(
+                _run_from(
+                    [(k, (priority, k), tomb) for k, tomb in column], priority
+                )
+            )
+            for k, tomb in column:
+                expected[k] = ((priority, k), tomb)
+        live = {
+            k: v for k, (v, tomb) in sorted(expected.items()) if not tomb
+        }
+        got = {
+            k: v
+            for k, v, _t in merge_compressed_items(runs, drop_tombstones=True)
+        }
+        assert got == live
+        remerged = merge_compressed_runs(runs, page_items=8, drop_tombstones=True)
+        remerged.check_invariants()
+        assert {k: v for k, v, _t in remerged.items()} == live
+
+    def test_run_page_lazy_decode(self):
+        page = RunPage(encode_key_block([5, 6, 9]), ["a", "b", "c"])
+        assert page._keys is None  # header reads do not decode
+        assert (page.count, page.min_key, page.max_key) == (3, 5, 9)
+        assert page._keys is None
+        assert page.keys() == [5, 6, 9]
+        assert page._keys is not None
+
+    def test_header_size_matches_struct(self):
+        block = encode_key_block([1])
+        assert len(block) == KEY_BLOCK_HEADER.size

@@ -1,0 +1,269 @@
+"""Offline rebuild pipeline: equivalence, fast-path routing, crash hygiene.
+
+The rebuild pipeline must be *observationally identical* to incremental
+recovery — same live items from the same checkpoint + WAL tail, whatever
+mix of inserts, updates, and deletes the tail holds — and crash-safe: a
+simulated crash at any I/O boundary during ``repro rebuild`` leaves the
+original checkpoint loadable, and stray ``*.tmp`` wreckage is removed by
+the next ``recover``/``rebuild``. ``LSMTree.compact()`` rides the same
+merge and must preserve the live item set while collapsing to one run.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.btree.btree import BPlusTree
+from repro.core.sware import SortednessAwareIndex
+from repro.lsm.lsm import LSMConfig, LSMTree
+from repro.storage import (
+    CheckpointStore,
+    FaultyEnv,
+    SimulatedCrash,
+    WriteAheadLog,
+    rebuild_index,
+)
+from repro.storage.rebuild import checkpoint_run, wal_run
+
+
+def _seeded_state(workdir, n=4000, tail=1500, seed=11):
+    """Checkpoint ``n`` keys then log a mixed tail; returns paths + truth."""
+    ckpt = os.path.join(workdir, "ck.db")
+    walp = os.path.join(workdir, "wal.log")
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(10_000_000), n))
+    wal = WriteAheadLog(walp)
+    index = SortednessAwareIndex(BPlusTree(), wal=wal)
+    for key in keys:
+        index.insert(key, f"v{key}")
+    CheckpointStore(ckpt).save_index(index)
+    wal.reset()
+    for _ in range(tail):
+        roll = rng.random()
+        if roll < 0.2:
+            key = rng.choice(keys)
+            index.delete(key)
+        elif roll < 0.6:
+            key = rng.choice(keys)
+            index.insert(key, f"u{key}")
+        else:
+            key = rng.randrange(10_000_000, 11_000_000)
+            index.insert(key, f"n{key}")
+    wal.sync()
+    wal.close()
+    return ckpt, walp, dict(index.items())
+
+
+class TestRebuildEquivalence:
+    def test_matches_incremental_recovery(self, tmp_path):
+        ckpt, walp, expected = _seeded_state(str(tmp_path))
+        incremental, _ = CheckpointStore(ckpt).recover(walp)
+        rebuilt, report = rebuild_index(ckpt, walp)
+        assert dict(incremental.items()) == expected
+        assert dict(rebuilt.items()) == expected
+        rebuilt.backend.check_invariants()
+        assert report.entries == len(expected)
+        assert report.wal_records == 1500
+
+    def test_rebuild_without_wal(self, tmp_path):
+        ckpt, _walp, _expected = _seeded_state(str(tmp_path), tail=0)
+        rebuilt, report = rebuild_index(ckpt)
+        loaded = CheckpointStore(ckpt).load_btree()
+        assert rebuilt.backend.n_entries == loaded.n_entries
+        assert report.wal_records == 0
+
+    def test_out_path_checkpoint_loads_identically(self, tmp_path):
+        ckpt, walp, expected = _seeded_state(str(tmp_path))
+        out = str(tmp_path / "rebuilt.db")
+        _index, report = rebuild_index(ckpt, walp, out_path=out)
+        assert report.out_path == out
+        recovered, _ = CheckpointStore(out).recover()
+        assert dict(recovered.items()) == expected
+
+    def test_recover_threshold_routes_to_rebuild(self, tmp_path):
+        ckpt, walp, expected = _seeded_state(str(tmp_path))
+        fast, report = CheckpointStore(ckpt).recover(walp, rebuild_threshold=100)
+        assert report.rebuilt
+        assert "rebuild fast path" in report.describe()
+        assert dict(fast.items()) == expected
+
+    def test_recover_below_threshold_replays(self, tmp_path):
+        ckpt, walp, expected = _seeded_state(str(tmp_path))
+        slow, report = CheckpointStore(ckpt).recover(
+            walp, rebuild_threshold=10_000_000
+        )
+        assert not report.rebuilt
+        assert dict(slow.items()) == expected
+
+    def test_v1_checkpoint_rebuilds(self, tmp_path):
+        """The run streamer handles raw (uncompressed) leaf pages too."""
+        ckpt = str(tmp_path / "v1.db")
+        walp = str(tmp_path / "wal.log")
+        index = SortednessAwareIndex(BPlusTree(), wal=WriteAheadLog(walp))
+        for key in range(0, 3000, 3):
+            index.insert(key, key)
+        CheckpointStore(ckpt, compress=False).save_index(index)
+        index.wal.reset()
+        for key in range(1, 3001, 30):
+            index.insert(key, -key)
+        index.wal.sync()
+        expected = dict(index.items())
+        rebuilt, _ = rebuild_index(ckpt, walp)
+        assert dict(rebuilt.items()) == expected
+
+
+class TestRunStreaming:
+    def test_checkpoint_run_keeps_pages_encoded(self, tmp_path):
+        ckpt = str(tmp_path / "ck.db")
+        index = SortednessAwareIndex(BPlusTree())
+        for key in range(10_000, 20_000, 2):
+            index.insert(key, 0)
+        CheckpointStore(ckpt).save_index(index)
+        run, directory, epoch = checkpoint_run(ckpt)
+        assert epoch == 1
+        assert directory.get("page_format") == 2
+        assert run.count == 5000
+        # Dense even keys: every multi-key page must have arrived as a
+        # still-encoded delta block, never eagerly decoded.
+        assert any(page._keys is None for page in run.pages)
+        run.check_invariants()
+
+    def test_wal_run_last_op_per_key(self, tmp_path):
+        walp = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(walp)
+        wal.append_put(5, "first")
+        wal.append_put(5, "second")
+        wal.append_delete(9)
+        wal.append_put(9, "alive")
+        wal.append_put(1, "x")
+        wal.append_delete(1)
+        wal.sync()
+        run, replay = wal_run(walp)
+        assert replay.records == 6
+        items = list(run.items())
+        assert items == [(1, None, True), (5, "second", False), (9, "alive", False)]
+
+
+class TestCrashHygiene:
+    def test_crash_during_out_checkpoint_preserves_source(self, tmp_path):
+        """Sweep every I/O boundary of the --out save: the source checkpoint
+        must stay loadable and the rebuilt output must never be half-visible."""
+        ckpt, walp, expected = _seeded_state(str(tmp_path), n=800, tail=300)
+        out = str(tmp_path / "out.db")
+        crashed_at_least_once = False
+        for crash_at in range(60):
+            env = FaultyEnv(crash_at=crash_at, seed=crash_at)
+            try:
+                rebuild_index(
+                    ckpt, walp, out_path=out,
+                    opener=env.open, replace=env.replace,
+                )
+            except SimulatedCrash:
+                crashed_at_least_once = True
+            # Whatever happened, the inputs are intact…
+            recovered, _ = CheckpointStore(ckpt).recover(walp)
+            assert dict(recovered.items()) == expected
+            # …and the output path is all-or-nothing.
+            if os.path.exists(out):
+                out_recovered, _ = CheckpointStore(out).recover()
+                assert dict(out_recovered.items()) == expected
+                os.unlink(out)
+            for stray in (ckpt + ".tmp", out + ".tmp"):
+                if os.path.exists(stray):
+                    os.unlink(stray)
+        assert crashed_at_least_once
+
+    def test_stale_tmp_cleaned_by_next_rebuild(self, tmp_path):
+        ckpt, walp, expected = _seeded_state(str(tmp_path), n=500, tail=100)
+        for stale in (ckpt + ".tmp", str(tmp_path / "out.db.tmp")):
+            with open(stale, "wb") as handle:
+                handle.write(b"wreckage from a crashed save")
+        rebuilt, report = rebuild_index(
+            ckpt, walp, out_path=str(tmp_path / "out.db")
+        )
+        assert report.stale_tmp_removed
+        assert not os.path.exists(ckpt + ".tmp")
+        assert not os.path.exists(str(tmp_path / "out.db.tmp"))
+        assert dict(rebuilt.items()) == expected
+
+    def test_stale_tmp_cleaned_by_recover_fast_path(self, tmp_path):
+        ckpt, walp, expected = _seeded_state(str(tmp_path), n=500, tail=200)
+        with open(ckpt + ".tmp", "wb") as handle:
+            handle.write(b"torn checkpoint bytes")
+        index, report = CheckpointStore(ckpt).recover(walp, rebuild_threshold=50)
+        assert report.rebuilt and report.stale_tmp_removed
+        assert not os.path.exists(ckpt + ".tmp")
+        assert dict(index.items()) == expected
+
+    def test_first_crash_leaves_only_tmp_wreckage(self, tmp_path):
+        """The earliest possible crash (first mutating op, a torn write of
+        the output's tmp file) leaves nothing but ``*.tmp`` behind — never
+        a half-written file at the destination path itself — and the next
+        clean rebuild sweeps it."""
+        ckpt, walp, expected = _seeded_state(str(tmp_path), n=500, tail=200)
+        out = str(tmp_path / "out.db")
+        before = set(os.listdir(tmp_path))
+        env = FaultyEnv(crash_at=0, seed=3)
+        with pytest.raises(SimulatedCrash):
+            rebuild_index(
+                ckpt, walp, out_path=out, opener=env.open, replace=env.replace
+            )
+        new_files = set(os.listdir(tmp_path)) - before
+        assert all(name.endswith(".tmp") for name in new_files)
+        rebuilt, report = rebuild_index(ckpt, walp, out_path=out)
+        assert report.stale_tmp_removed
+        assert set(os.listdir(tmp_path)) - before == {"out.db"}
+        assert dict(rebuilt.items()) == expected
+
+
+class TestLSMCompact:
+    @pytest.mark.parametrize("policy", ["leveling", "tiering"])
+    @pytest.mark.parametrize("sortedness_aware", [False, True])
+    def test_compact_preserves_live_items(self, policy, sortedness_aware):
+        tree = LSMTree(
+            LSMConfig(
+                memtable_capacity=32,
+                policy=policy,
+                sortedness_aware=sortedness_aware,
+            )
+        )
+        rng = random.Random(5)
+        live = {}
+        for i in range(3000):
+            key = rng.randrange(8000)
+            if rng.random() < 0.15:
+                tree.delete(key)
+                live.pop(key, None)
+            else:
+                tree.insert(key, i)
+                live[key] = i
+        stats = tree.compact()
+        tree.check_invariants()
+        assert dict(tree.iter_items()) == live
+        assert tree.n_runs() <= 1
+        assert stats["merged"]
+        assert stats["entries_out"] == len(live)
+
+    def test_compact_idempotent(self):
+        tree = LSMTree(LSMConfig(memtable_capacity=16))
+        for key in range(500):
+            tree.insert(key, key)
+        tree.compact()
+        live = dict(tree.iter_items())
+        written_before = tree.entries_written
+        stats = tree.compact()
+        assert not stats["merged"]  # single tombstone-free run: no-op
+        assert tree.entries_written == written_before
+        assert dict(tree.iter_items()) == live
+
+    def test_compact_drops_tombstones(self):
+        tree = LSMTree(LSMConfig(memtable_capacity=8))
+        for key in range(200):
+            tree.insert(key, key)
+        for key in range(0, 200, 2):
+            tree.delete(key)
+        tree.compact()
+        entries = [e for run in tree._iter_runs() for e in run.entries]
+        assert entries and not any(e[3] for e in entries)
+        assert dict(tree.iter_items()) == {k: k for k in range(1, 200, 2)}
